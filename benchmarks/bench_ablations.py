@@ -1,0 +1,20 @@
+"""Benchmark: the design-choice ablations DESIGN.md calls out.
+
+LAT packing (3.125 % vs 12.5 %), block alignment (byte vs word), and
+decoder rate (1/2/4 bytes per cycle).
+"""
+
+from repro.experiments.ablations import run_ablations
+
+
+def test_ablations(run_once):
+    result = run_once(run_ablations)
+    print()
+    print(result.render())
+
+    for row in result.lat_rows:
+        assert row.naive_overhead > 3.5 * row.packed_overhead
+    for row in result.alignment_rows:
+        assert row.byte_aligned_ratio <= row.word_aligned_ratio
+    for row in result.decoder_rows:
+        assert row.relative_performance[4] <= row.relative_performance[1]

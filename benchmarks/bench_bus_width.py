@@ -1,0 +1,20 @@
+"""Benchmark: bus-width sensitivity (paper Sections 3.4/5)."""
+
+from repro.experiments.bus_width import run_bus_width
+
+
+def test_bus_width(run_once):
+    result = run_once(run_bus_width)
+    print()
+    print(result.render())
+
+    for program in ("espresso", "fpppp"):
+        # Fixed 2 B/cycle decoder degrades monotonically with bus width...
+        fixed = [
+            result.row_for(program, bus).relative_performance[2] for bus in (4, 8, 16)
+        ]
+        assert fixed == sorted(fixed)
+        # ...and a decoder matched to the bus recovers most of it.
+        for bus in (4, 8, 16):
+            row = result.row_for(program, bus).relative_performance
+            assert row[8] <= row[2]

@@ -1,0 +1,18 @@
+"""Benchmark: cross-ISA effectiveness (paper Section 5's first proposal)."""
+
+from repro.experiments.cross_isa import run_cross_isa
+
+
+def test_cross_isa(run_once):
+    result = run_once(run_cross_isa)
+    print()
+    print(result.render())
+
+    weighted = result.weighted
+    # The method works on a structurally different ISA...
+    assert weighted.alt_own_code < 0.85
+    # ...about as well as on MIPS...
+    assert abs(weighted.alt_own_code - weighted.mips_own_code) < 0.06
+    # ...but only with a code trained for that ISA.
+    assert weighted.mips_with_alt_code > weighted.mips_own_code + 0.05
+    assert weighted.alt_with_mips_code > weighted.alt_own_code + 0.05

@@ -1,0 +1,17 @@
+"""Benchmark: the dense-ISA alternative comparison (paper Section 1)."""
+
+from repro.experiments.dense_isa import run_dense_isa
+
+
+def test_dense_isa(run_once):
+    result = run_once(run_dense_isa)
+    print()
+    print(result.render())
+
+    # Both strategies must shrink the corpus; neither dominates everywhere,
+    # and both weighted averages land in the same density band.
+    assert 0.7 < result.weighted_dense < 0.95
+    assert 0.65 < result.weighted_ccrp < 0.85
+    for row in result.rows:
+        assert row.dense_ratio < 1.0
+        assert 0.1 < row.dense_fraction < 0.8

@@ -1,0 +1,33 @@
+"""Benchmark: the Section 5 extension studies (multi-code, associativity,
+compressed demand paging)."""
+
+from repro.experiments.extensions import run_extensions
+
+
+def test_extensions(run_once):
+    result = run_once(run_extensions)
+    print()
+    print(result.render())
+
+    # More preselected codes never compress worse (tags included, small
+    # training noise allowed).
+    ratios = [row.compressed_ratio for row in result.multicode_rows]
+    assert ratios[1] <= ratios[0] + 0.005
+    assert ratios[2] <= ratios[1] + 0.005
+
+    # Associativity recovers part of espresso's conflicts once the cache
+    # can hold a couple of its working regions (at 512 B LRU actually
+    # thrashes — a classic small-cache effect worth keeping visible).
+    espresso = [
+        row
+        for row in result.associativity_rows
+        if row.program == "espresso" and row.cache_bytes >= 1024
+    ]
+    assert espresso
+    assert all(row.miss_2way < row.miss_direct for row in espresso)
+
+    # Compressed paging: same faults, less storage, and cheaper service on
+    # the slow EPROM backing store.
+    eprom = next(row for row in result.paging_rows if row.memory == "eprom")
+    assert eprom.compressed_fault_cycles < eprom.baseline_fault_cycles
+    assert eprom.storage_ratio < 0.9

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (four compression methods).
+
+Prints the same rows the paper's Figure 5 reports — compressed size as a
+percentage of the original for all ten corpus programs and the weighted
+average — and asserts the paper's qualitative ordering.
+"""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5_reproduction(run_once):
+    result = run_once(run_figure5)
+    print()
+    print(result.render())
+
+    weighted = result.weighted
+    # Paper shape: compress best; the three Huffman variants clustered,
+    # with the bound and the preselection each costing almost nothing.
+    assert weighted.unix_compress < weighted.traditional_huffman
+    assert abs(weighted.bounded_huffman - weighted.traditional_huffman) < 0.02
+    assert abs(weighted.preselected_huffman - weighted.bounded_huffman) < 0.03
+    assert 0.65 < weighted.preselected_huffman < 0.85

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (performance vs miss rate scatter)."""
+
+from repro.experiments.figure9 import run_figure9
+
+
+def test_figure9_reproduction(run_once):
+    result = run_once(run_figure9)
+    print()
+    print(result.render())
+
+    # Paper: "for slow memories, the compressed code model will outperform
+    # standard code more at higher miss rates while the opposite is true
+    # for faster memory."
+    assert result.trend_slope("eprom") < 0
+    assert result.trend_slope("burst_eprom") > 0
+    assert result.trend_slope("sc_dram") > 0
+    assert len(result.points) >= 100

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the substrate the experiments are built on.
+
+These time the hot primitives (functional execution, vectorised cache
+simulation, Huffman block compression, LZW, LAT packing, CLB) so that
+regressions in the simulator itself — as opposed to the modelled system —
+are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.direct_mapped import simulate_trace
+from repro.ccrp.clb import CLB
+from repro.compression.block import BlockCompressor
+from repro.compression.histogram import byte_histogram
+from repro.compression.huffman import HuffmanCode
+from repro.compression.lzw import lzw_compress
+from repro.isa.assembler import Assembler
+from repro.lat.entry import LATEntry
+from repro.machine import Machine
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def espresso_trace():
+    return load("espresso").run().trace.addresses
+
+
+@pytest.fixture(scope="module")
+def eightq_text():
+    return load("eightq").text
+
+
+def test_bench_functional_execution(benchmark):
+    """Dynamic instructions per second of the pre-decoded interpreter."""
+    program = Assembler().assemble(
+        """
+        main: li $t0, 20000
+        loop: addiu $t0, $t0, -1
+              addu $t1, $t1, $t0
+              xor  $t2, $t1, $t0
+              bnez $t0, loop
+              nop
+              li $v0, 10
+              syscall
+        """
+    )
+    result = benchmark(lambda: Machine(program).run())
+    assert result.instructions_executed > 100_000
+
+
+def test_bench_vectorised_cache_simulation(benchmark, espresso_trace):
+    """One full-trace direct-mapped simulation (the Tables 1-8 kernel)."""
+    stats = benchmark(simulate_trace, espresso_trace, 1024)
+    assert stats.misses > 0
+
+
+def test_bench_huffman_block_compression(benchmark, eightq_text):
+    code = HuffmanCode.from_frequencies(
+        byte_histogram(eightq_text), max_length=16, cover_all_symbols=True
+    )
+    compressor = BlockCompressor(code)
+    blocks = benchmark(compressor.compress_program, eightq_text)
+    assert len(blocks) == (len(eightq_text) + 31) // 32
+
+
+def test_bench_bounded_code_construction(benchmark, eightq_text):
+    """Package-merge over a 256-symbol histogram."""
+    histogram = byte_histogram(eightq_text)
+    code = benchmark(
+        HuffmanCode.from_frequencies, histogram, 16, True
+    )
+    assert code.max_length <= 16
+
+
+def test_bench_lzw(benchmark, eightq_text):
+    blob = benchmark(lzw_compress, eightq_text)
+    assert len(blob) < len(eightq_text)
+
+
+def test_bench_lat_entry_pack_unpack(benchmark):
+    entry = LATEntry(base=0x123456, lengths=(10, 20, 32, 5, 31, 1, 12, 8))
+
+    def round_trip():
+        return LATEntry.decode(entry.encode())
+
+    assert benchmark(round_trip) == entry
+
+
+def test_bench_clb_simulation(benchmark):
+    rng = np.random.default_rng(7)
+    stream = rng.integers(0, 64, size=20_000).tolist()
+
+    def run():
+        return CLB(entries=16).simulate(stream)
+
+    misses = benchmark(run)
+    assert misses > 0

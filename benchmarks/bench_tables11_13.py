@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Tables 11-13 (data cache effects)."""
+
+from repro.experiments.tables11_13 import run_tables11_13
+
+
+def test_tables11_13_reproduction(run_once):
+    result = run_once(run_tables11_13)
+    print()
+    print(result.render())
+
+    for table in result.tables:
+        for memory in ("eprom", "burst_eprom"):
+            rows = [row for row in table.rows if row.memory == memory]
+            deltas = [abs(row.relative_performance - 1.0) for row in rows]
+            # Paper: rising data-cache miss rate dilutes the CCRP effect.
+            assert deltas == sorted(deltas, reverse=True) or max(deltas) < 0.005

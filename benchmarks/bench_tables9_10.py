@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Tables 9-10 (CLB size effects)."""
+
+from repro.experiments.tables9_10 import CLB_ENTRIES, run_tables9_10
+
+
+def test_tables9_10_reproduction(run_once):
+    result = run_once(run_tables9_10)
+    print()
+    print(result.render())
+
+    for table in result.tables:
+        for row in table.rows:
+            values = [row.relative_performance[entries] for entries in CLB_ENTRIES]
+            # Paper: "only minor variations with respect to CLB size".
+            assert max(values) - min(values) < 0.05
+            # And a larger CLB is never slower.
+            assert values == sorted(values)

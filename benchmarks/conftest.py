@@ -1,0 +1,20 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper
+(timed once via ``benchmark.pedantic`` — these are experiment harnesses,
+not micro-kernels) and prints the same rows the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time a whole-experiment callable exactly once and return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,62 @@
+"""Compare the paper's four compression methods on any byte stream.
+
+By default this reproduces the Figure 5 corpus comparison; point it at a
+file to see how *your* data fares under cache-line-bounded compression:
+
+    python examples/compression_explorer.py              # paper corpus
+    python examples/compression_explorer.py /bin/ls      # any file
+"""
+
+import sys
+
+from repro.compression.block import BlockCompressor
+from repro.compression.histogram import byte_histogram
+from repro.compression.huffman import HuffmanCode
+from repro.compression.lzw import lzw_compress
+from repro.core.standard import standard_code
+from repro.experiments.figure5 import run_figure5
+
+
+def explore_file(path: str) -> None:
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < 64:
+        raise SystemExit("file too small to be interesting")
+    print(f"{path}: {len(data):,} bytes\n")
+
+    histogram = byte_histogram(data)
+    methods = {
+        "Unix compress (LZW)": len(lzw_compress(data)),
+    }
+    traditional = HuffmanCode.from_frequencies(histogram)
+    bounded = HuffmanCode.from_frequencies(histogram, max_length=16)
+    preselected = standard_code()
+    for label, code, table in (
+        ("Traditional Huffman", traditional, 256),
+        ("Bounded Huffman (16b)", bounded, 256),
+        ("Preselected Bounded", preselected, 0),
+    ):
+        blocks = BlockCompressor(code).compress_program(data)
+        stored = sum(block.stored_size for block in blocks) + table
+        bypassed = sum(1 for block in blocks if not block.is_compressed)
+        methods[label] = stored
+        print(f"  {label:22s}: {stored / len(data):6.1%}  ({bypassed} bypass lines)")
+    print(f"  {'Unix compress (LZW)':22s}: {methods['Unix compress (LZW)'] / len(data):6.1%}")
+    print("\nNote: the preselected code was trained on MIPS machine code —")
+    print("the further your data is from that, the worse it does (the paper's")
+    print("fpppp effect).")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        explore_file(sys.argv[1])
+        return
+    print(run_figure5().render())
+    print()
+    print("Block-bounded Huffman keeps ~75% ratios decodable one cache line")
+    print("at a time; whole-file LZW compresses harder but cannot support")
+    print("random refill, which is the entire point of the CCRP design.")
+
+
+if __name__ == "__main__":
+    main()

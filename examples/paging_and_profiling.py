@@ -1,0 +1,55 @@
+"""The paper's future-work ideas, live: profiling and compressed paging.
+
+Section 5 closes with two threads this library implements:
+
+* pixie-style profiling of the workloads ("the diagnostic profiling tool
+  pixie was used to document the detailed behavior of each program");
+* applying the CLB/LAT idea one level down, to demand-paged memory ("the
+  similarity of the CLB/LAT structure to the TLB/page table structure
+  indicates that there may be some benefit...").
+
+    python examples/paging_and_profiling.py [workload]
+"""
+
+import sys
+
+from repro.ccrp import CompressedPageStore, PagedMemorySimulator
+from repro.core.standard import standard_code
+from repro.machine import profile
+from repro.workloads import SIMULATION_PROGRAMS, load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "espresso"
+    if name not in SIMULATION_PROGRAMS:
+        raise SystemExit(f"pick one of {SIMULATION_PROGRAMS}")
+
+    workload = load(name)
+    result = workload.run()
+
+    print(f"=== pixie-style profile: {name} ===\n")
+    print(profile(result, workload.program).render(top=8))
+
+    print(f"\n=== compressed demand paging: {name} ===\n")
+    store = CompressedPageStore(workload.text, standard_code())
+    print(
+        f"backing store : {store.stored_size:,} bytes compressed vs "
+        f"{store.original_size:,} uncompressed ({store.compression_ratio:.1%})"
+    )
+    print(f"{'memory':12s} {'frames':>6s} {'faults':>8s} {'CCRP cycles':>12s} {'std cycles':>11s}")
+    for memory in ("eprom", "burst_eprom", "sc_dram"):
+        for frames in (8, 16, 32):
+            simulator = PagedMemorySimulator(store, frames=frames, memory=memory)
+            compressed, baseline = simulator.compare(result.trace.addresses)
+            print(
+                f"{memory:12s} {frames:6d} {compressed.faults:8,d} "
+                f"{compressed.fault_cycles:12,d} {baseline.fault_cycles:11,d}"
+            )
+    print()
+    print("On slow EPROM backing store the compressed pages are faster to")
+    print("fault in as well as smaller; on burst memory the expansion rate")
+    print("becomes the bottleneck — the same trade as the cache-level CCRP.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: compress a program and compare the two machines.
+
+Runs the paper's core experiment on one workload: execute it, compress it
+with the preselected bounded Huffman code, and price the same miss stream
+on a standard RISC system and on the CCRP under all three embedded memory
+models.
+
+Usage::
+
+    python examples/quickstart.py [workload]
+"""
+
+import sys
+
+from repro.core import SystemConfig, compare
+from repro.workloads import SIMULATION_PROGRAMS, load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "espresso"
+    if name not in SIMULATION_PROGRAMS:
+        raise SystemExit(f"pick one of {SIMULATION_PROGRAMS}")
+
+    workload = load(name)
+    result = workload.run()
+    print(f"workload: {name}")
+    print(f"  text segment        : {workload.size:,} bytes")
+    print(f"  dynamic instructions: {result.instructions_executed:,}")
+    print(f"  data accesses       : {result.data_accesses:,}")
+    print()
+
+    first = compare(name, SystemConfig(cache_bytes=1024, memory="eprom"))
+    print(f"compressed image: {first.compression_ratio:.1%} of original (incl. LAT)")
+    print()
+    print(f"{'memory':12s} {'cache':>6s} {'miss rate':>10s} {'T_CCRP/T_std':>13s} {'traffic':>8s}")
+    for memory in ("eprom", "burst_eprom", "sc_dram"):
+        for cache_bytes in (256, 1024, 4096):
+            report = compare(name, SystemConfig(cache_bytes=cache_bytes, memory=memory))
+            print(
+                f"{memory:12s} {cache_bytes:5d}B "
+                f"{report.miss_rate:9.2%} "
+                f"{report.relative_execution_time:13.3f} "
+                f"{report.memory_traffic_ratio:7.1%}"
+            )
+    print()
+    print("Values below 1.0 mean the Compressed Code RISC Processor is faster;")
+    print("slow EPROM favours the CCRP, fast burst memory favours the baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments that lack the ``wheel``
+package required by PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Compressed Code RISC Processor (CCRP) — reproduction library.
+
+This package reproduces Wolfe & Chanin, *Executing Compressed Programs on
+an Embedded RISC Architecture* (MICRO-25, 1992): a MIPS-I substrate, the
+block-bounded Huffman compression family, the Line Address Table (LAT) and
+Cache Line Address Lookaside Buffer (CLB), code-expanding instruction-cache
+refill timing, embedded memory models, and the trace-driven performance
+comparison between a standard RISC system and a CCRP.
+
+Quickstart::
+
+    from repro import workloads, ccrp, core
+
+    program = workloads.load("eightq")
+    config = core.SystemConfig(cache_bytes=1024, memory="burst_eprom")
+    report = core.compare(program, config)
+    print(report.relative_execution_time)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,49 @@
+"""Analytic data-cache model (paper Section 4.2.4).
+
+"A simple analytical model has been used to approximate this effect.
+Data cache hits are assumed to take no additional cycles.  Data cache
+misses add 4 cycles per access.  A miss rate is multiplied by the number
+of data accesses to predict the overall performance."
+
+Most of the paper's experiments use no data cache at all — equivalent to
+a 100 % miss rate with every access a single random DRAM read of 4 cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Cycles one missing data access costs (single random DRAM access).
+DATA_MISS_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class DataCacheModel:
+    """Analytic data-cache penalty model.
+
+    Attributes:
+        miss_rate: Fraction of data accesses that miss (1.0 reproduces
+            the paper's no-data-cache configuration).
+        miss_cycles: Penalty per missing access.
+    """
+
+    miss_rate: float = 1.0
+    miss_cycles: int = DATA_MISS_CYCLES
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate <= 1.0:
+            raise ConfigurationError(f"miss rate {self.miss_rate} outside [0, 1]")
+        if self.miss_cycles < 0:
+            raise ConfigurationError("miss penalty cannot be negative")
+
+    def penalty_cycles(self, data_accesses: int) -> int:
+        """Total data-access penalty for ``data_accesses`` loads/stores."""
+        if data_accesses < 0:
+            raise ConfigurationError("data access count cannot be negative")
+        return round(data_accesses * self.miss_rate * self.miss_cycles)
+
+
+#: The configuration used by Tables 1-10: no data cache at all.
+NO_DATA_CACHE = DataCacheModel(miss_rate=1.0)

@@ -1,0 +1,135 @@
+"""Direct-mapped instruction-cache simulation.
+
+The paper's proposed implementation is a direct-mapped, 32-byte-line
+on-chip cache of 256-4096 bytes (Section 3.1).  Crucially, the *miss
+stream is identical* for the baseline RISC and the CCRP — compression is
+transparent to addressing — so one simulation serves both machines and
+only refill timing differs.
+
+Two implementations are provided:
+
+* :class:`DirectMappedCache` — a readable, stateful reference model;
+* :func:`simulate_trace` — a vectorised equivalent.  A direct-mapped
+  cache hits exactly when the previous access to the same set touched the
+  same line, so misses can be computed with one stable sort by set index
+  followed by a neighbour comparison: O(n log n) in numpy instead of an
+  interpreted loop per access.
+
+Property-based tests assert the two agree on random traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.cache.stats import CacheStats
+
+DEFAULT_LINE_SIZE = 32
+
+
+def _check_geometry(cache_bytes: int, line_size: int) -> int:
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ConfigurationError(f"line size {line_size} is not a power of two")
+    if cache_bytes < line_size or cache_bytes % line_size:
+        raise ConfigurationError(
+            f"cache size {cache_bytes} is not a positive multiple of line size {line_size}"
+        )
+    num_sets = cache_bytes // line_size
+    if num_sets & (num_sets - 1):
+        raise ConfigurationError(f"number of sets {num_sets} is not a power of two")
+    return num_sets
+
+
+class DirectMappedCache:
+    """Stateful reference model of a direct-mapped cache.
+
+    Example::
+
+        cache = DirectMappedCache(cache_bytes=1024)
+        hit = cache.access(address)
+    """
+
+    def __init__(self, cache_bytes: int, line_size: int = DEFAULT_LINE_SIZE) -> None:
+        self.num_sets = _check_geometry(cache_bytes, line_size)
+        self.line_size = line_size
+        self._line_shift = line_size.bit_length() - 1
+        self._resident: list[int | None] = [None] * self.num_sets
+        self.accesses = 0
+        self.misses = 0
+        self.miss_lines: list[int] = []
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on a hit."""
+        line = address >> self._line_shift
+        set_index = line % self.num_sets
+        self.accesses += 1
+        if self._resident[set_index] == line:
+            return True
+        self._resident[set_index] = line
+        self.misses += 1
+        self.miss_lines.append(line)
+        return False
+
+    def run(self, addresses) -> CacheStats:
+        """Access a whole trace and return the statistics."""
+        for address in addresses:
+            self.access(int(address))
+        return self.stats()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            accesses=self.accesses,
+            misses=self.misses,
+            miss_lines=np.array(self.miss_lines, dtype=np.int64),
+        )
+
+
+def simulate_trace(
+    addresses: np.ndarray,
+    cache_bytes: int,
+    line_size: int = DEFAULT_LINE_SIZE,
+) -> CacheStats:
+    """Vectorised direct-mapped simulation of an address trace.
+
+    Args:
+        addresses: Byte addresses in access order (any integer dtype).
+        cache_bytes: Total cache capacity.
+        line_size: Line size in bytes.
+
+    Returns:
+        The same :class:`CacheStats` the reference model produces.
+    """
+    num_sets = _check_geometry(cache_bytes, line_size)
+    if len(addresses) == 0:
+        return CacheStats(accesses=0, misses=0, miss_lines=np.array([], dtype=np.int64))
+
+    lines = np.asarray(addresses, dtype=np.int64) >> (line_size.bit_length() - 1)
+
+    # Runs of accesses to the same line always hit after the first access,
+    # whatever the geometry; collapse them first (instruction fetch is
+    # mostly sequential, so this shrinks the trace ~8x).
+    keep = np.empty(len(lines), dtype=bool)
+    keep[0] = True
+    np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+    events = lines[keep]
+    total_accesses = len(lines)
+
+    sets = events & (num_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    sorted_sets = sets[order]
+    sorted_lines = events[order]
+    miss_sorted = np.empty(len(events), dtype=bool)
+    miss_sorted[0] = True
+    miss_sorted[1:] = (sorted_sets[1:] != sorted_sets[:-1]) | (
+        sorted_lines[1:] != sorted_lines[:-1]
+    )
+    miss = np.empty(len(events), dtype=bool)
+    miss[order] = miss_sorted
+
+    miss_lines = events[miss]
+    return CacheStats(
+        accesses=total_accesses,
+        misses=int(miss.sum()),
+        miss_lines=miss_lines,
+    )

@@ -1,0 +1,39 @@
+"""Cache simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Outcome of simulating one trace against one cache geometry.
+
+    Attributes:
+        accesses: Total number of accesses simulated.
+        misses: Number of misses (compulsory misses included, as in the
+            paper).
+        miss_lines: Line number of every miss, in occurrence order — the
+            refill engine and CLB consume this stream.
+    """
+
+    accesses: int
+    misses: int
+    miss_lines: np.ndarray
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction (0 for an empty trace)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __post_init__(self) -> None:
+        if self.misses != len(self.miss_lines):
+            raise ValueError(
+                f"misses={self.misses} but {len(self.miss_lines)} miss lines recorded"
+            )

@@ -1,0 +1,30 @@
+"""The CCRP refill engine: compressed images, CLB, decoder, refill timing.
+
+This package assembles the compression substrate into the paper's actual
+mechanism: a :class:`CompressedImage` laid out in instruction memory
+(LAT followed by compressed blocks), the :class:`CLB` that caches LAT
+entries, the :class:`DecoderModel` reproducing the 2-bytes-per-cycle
+hard-wired Huffman decoder, the :class:`RefillEngine` that turns a cache
+miss into a cycle count, and a functional
+:class:`ExpandingInstructionCache` that really decompresses lines from the
+serialised memory image (used to prove end-to-end transparency).
+"""
+
+from repro.ccrp.clb import CLB
+from repro.ccrp.compressor import ProgramCompressor
+from repro.ccrp.decoder import DecoderModel
+from repro.ccrp.expanding_cache import ExpandingInstructionCache
+from repro.ccrp.image import CompressedImage
+from repro.ccrp.paging import CompressedPageStore, PagedMemorySimulator
+from repro.ccrp.refill import RefillEngine
+
+__all__ = [
+    "CLB",
+    "CompressedImage",
+    "CompressedPageStore",
+    "PagedMemorySimulator",
+    "DecoderModel",
+    "ExpandingInstructionCache",
+    "ProgramCompressor",
+    "RefillEngine",
+]

@@ -1,0 +1,99 @@
+"""Cache Line Address Lookaside Buffer (CLB).
+
+A small fully associative cache of LAT entries (paper Section 3.3),
+analogous to a TLB over a page table.  The CLB is probed on every refill;
+a hit costs nothing extra (the lookup overlaps the cache probe), a miss
+adds one LAT-entry read (two words) to the refill time.
+
+The paper uses LRU replacement; FIFO and a deterministic pseudo-random
+policy are also provided so the replacement choice can be ablated (fully
+associative LRU is the most expensive policy to build in hardware, so it
+is worth knowing what it buys).
+
+Replacement state is updated when the refill engine actually consults an
+entry, i.e. on instruction-cache misses — the paper's CLB contents are
+only ever *used* during refills.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from repro.errors import ConfigurationError
+
+#: The paper's experiments use 4, 8, and 16 entries.
+DEFAULT_CLB_ENTRIES = 16
+
+#: Supported replacement policies.
+POLICIES = ("lru", "fifo", "random")
+
+
+class CLB:
+    """Fully associative buffer of LAT entries.
+
+    Args:
+        entries: Capacity in LAT entries (4-16 in the paper).
+        policy: ``"lru"`` (the paper's choice), ``"fifo"``, or
+            ``"random"`` (deterministic, seeded).
+
+    Example::
+
+        clb = CLB(entries=16)
+        hit = clb.access(lat_index)
+    """
+
+    def __init__(self, entries: int = DEFAULT_CLB_ENTRIES, policy: str = "lru") -> None:
+        if entries < 1:
+            raise ConfigurationError(f"CLB needs at least one entry, got {entries}")
+        if policy not in POLICIES:
+            raise ConfigurationError(f"unknown CLB policy {policy!r}; choose from {POLICIES}")
+        self.entries = entries
+        self.policy = policy
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._rng = random.Random(0xC1B)  # deterministic "random" policy
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, lat_index: int) -> bool:
+        """Probe for ``lat_index``; insert on miss.  Returns hit/miss."""
+        lru = self._lru
+        if lat_index in lru:
+            if self.policy == "lru":
+                lru.move_to_end(lat_index)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(lru) >= self.entries:
+            if self.policy == "random":
+                victim = self._rng.choice(list(lru))
+                del lru[victim]
+            else:  # lru and fifo both evict the oldest ordering entry
+                lru.popitem(last=False)
+        lru[lat_index] = None
+        return False
+
+    def simulate(self, lat_indices: Iterable[int]) -> int:
+        """Run a whole sequence of probes; returns the miss count added."""
+        before = self.misses
+        for lat_index in lat_indices:
+            self.access(lat_index)
+        return self.misses - before
+
+    def reset(self) -> None:
+        """Empty the buffer and clear statistics."""
+        self._lru.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of entries currently held."""
+        return len(self._lru)
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of probes that missed (0 if never probed)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

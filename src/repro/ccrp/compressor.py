@@ -1,0 +1,70 @@
+"""The host-side code compression tool.
+
+"This object code is then compressed on the host development system using
+a code compression tool similar in principle to the Unix compress utility"
+(paper Section 1).  :class:`ProgramCompressor` is that tool: it block-
+compresses a text segment, builds the LAT, and lays both out in
+instruction memory as a :class:`~repro.ccrp.image.CompressedImage`.
+"""
+
+from __future__ import annotations
+
+from repro.compression.block import BYTE_ALIGNED, DEFAULT_LINE_SIZE, BlockCompressor
+from repro.compression.huffman import HuffmanCode
+from repro.ccrp.image import CompressedImage
+from repro.lat.table import LineAddressTable
+
+
+class ProgramCompressor:
+    """Compresses programs for a decoder wired to a specific Huffman code.
+
+    Args:
+        code: The Huffman code (typically a preselected bounded code).
+        line_size: Instruction-cache line size in bytes.
+        alignment: Compressed-block alignment (1 = byte, 4 = word).
+        charge_code_table: Charge 256 bytes of code listing against each
+            image (true for per-program codes, false for preselected).
+    """
+
+    def __init__(
+        self,
+        code: HuffmanCode,
+        line_size: int = DEFAULT_LINE_SIZE,
+        alignment: int = BYTE_ALIGNED,
+        charge_code_table: bool = False,
+    ) -> None:
+        self.code = code
+        self.block_compressor = BlockCompressor(code, line_size=line_size, alignment=alignment)
+        self.line_size = line_size
+        self.charge_code_table = charge_code_table
+
+    def compress(
+        self,
+        text: bytes,
+        text_base: int = 0,
+        lat_base: int = 0,
+    ) -> CompressedImage:
+        """Compress ``text`` and lay out LAT + blocks from ``lat_base``.
+
+        Args:
+            text: Original text-segment bytes.
+            text_base: Original load address of the program (line numbers
+                in traces are relative to this).
+            lat_base: Where the image starts in instruction memory.
+        """
+        blocks = self.block_compressor.compress_program(text)
+        # One packed 8-byte entry per (up to) eight lines sits first.
+        lat_storage = ((len(blocks) + 7) // 8) * 8
+        code_base = lat_base + lat_storage
+        lat = LineAddressTable(blocks, code_base=code_base)
+        return CompressedImage(
+            code=self.code,
+            blocks=tuple(blocks),
+            lat=lat,
+            text_base=text_base,
+            lat_base=lat_base,
+            code_base=code_base,
+            line_size=self.line_size,
+            original_size=len(text),
+            charge_code_table=self.charge_code_table,
+        )

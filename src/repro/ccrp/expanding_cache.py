@@ -1,0 +1,111 @@
+"""A *functional* code-expanding instruction cache.
+
+The performance experiments use analytic refill timing; this class instead
+performs the real work, bit for bit: it keeps a direct-mapped cache of
+decompressed lines and, on a miss, walks the serialised memory image the
+way the hardware would — read the packed LAT entry (through the CLB), sum
+the length records to find the block, fetch the stored bytes, and run the
+Huffman decoder.  The end-to-end tests execute programs through it and
+require byte-identical instruction fetches, proving the paper's claim that
+compression is transparent to the processor.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.ccrp.clb import CLB
+from repro.ccrp.image import CompressedImage
+from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY, LATEntry
+
+
+class ExpandingInstructionCache:
+    """Direct-mapped I-cache whose refill path decompresses for real.
+
+    Args:
+        image: The compressed program image.
+        cache_bytes: Total cache capacity (256-4096 in the paper).
+        clb_entries: CLB capacity in LAT entries.
+    """
+
+    def __init__(
+        self,
+        image: CompressedImage,
+        cache_bytes: int = 1024,
+        clb_entries: int = 16,
+    ) -> None:
+        line_size = image.line_size
+        if cache_bytes % line_size or cache_bytes < line_size:
+            raise ConfigurationError(
+                f"cache size {cache_bytes} is not a multiple of the {line_size}-byte line"
+            )
+        self.image = image
+        self.line_size = line_size
+        self.num_sets = cache_bytes // line_size
+        self.clb = CLB(entries=clb_entries)
+        self._memory = image.memory_image()  # starts at lat_base
+        self._tags: list[int | None] = [None] * self.num_sets
+        self._lines: list[bytes] = [b""] * self.num_sets
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Fetch path
+    # ------------------------------------------------------------------
+
+    def fetch_word(self, address: int) -> int:
+        """Fetch the instruction word at ``address`` through the cache."""
+        if address % 4:
+            raise ConfigurationError(f"instruction fetch must be word aligned: {address:#x}")
+        line = self.read_line(address)
+        offset = address % self.line_size
+        return int.from_bytes(line[offset : offset + 4], "big")
+
+    def read_line(self, address: int) -> bytes:
+        """Return the (decompressed) cache line containing ``address``."""
+        line_number = address // self.line_size
+        set_index = line_number % self.num_sets
+        if self._tags[set_index] == line_number:
+            self.hits += 1
+            return self._lines[set_index]
+        self.misses += 1
+        line = self._refill(line_number)
+        self._tags[set_index] = line_number
+        self._lines[set_index] = line
+        return line
+
+    # ------------------------------------------------------------------
+    # The hardware refill walk
+    # ------------------------------------------------------------------
+
+    def _refill(self, line_number: int) -> bytes:
+        image = self.image
+        block_index = image.line_index(line_number)
+        if not 0 <= block_index < image.line_count:
+            raise ConfigurationError(f"line {line_number} outside the compressed program")
+
+        lat_index = block_index // LINES_PER_ENTRY
+        self.clb.access(lat_index)  # timing-only; the entry data is the same
+
+        # Read the packed LAT entry from the memory image (LAT base register
+        # + shifted index), exactly as the CLB refill hardware would.
+        entry_offset = lat_index * ENTRY_BYTES
+        entry = LATEntry.decode(self._memory[entry_offset : entry_offset + ENTRY_BYTES])
+
+        slot = block_index % LINES_PER_ENTRY
+        block_address = entry.block_address(slot)
+        stored_size = entry.block_size(slot)
+        start = block_address - image.lat_base
+        stored = bytes(self._memory[start : start + stored_size])
+
+        if not entry.is_compressed(slot):
+            return stored
+        return image.code.decode_fast(stored, self.line_size)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

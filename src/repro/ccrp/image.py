@@ -1,0 +1,116 @@
+"""Compressed program images: what actually sits in instruction memory.
+
+Layout (paper Figure 4, with the LAT "simply stored in the instruction
+memory"):
+
+::
+
+    lat_base:   [ LAT entry 0 ][ LAT entry 1 ] ...
+    code_base:  [ block 0 ][ block 1 ][ block 2 ] ...
+
+The refill engine's LAT Base Register points at ``lat_base``; compressed
+blocks follow the table immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.block import CompressedBlock
+from repro.compression.huffman import HuffmanCode
+from repro.lat.table import LineAddressTable
+
+
+@dataclass(frozen=True)
+class CompressedImage:
+    """A program after CCRP compression, ready for instruction memory.
+
+    Attributes:
+        code: The Huffman code the refill decoder is wired for.
+        blocks: Compressed blocks in original line order.
+        lat: The Line Address Table over ``blocks``.
+        text_base: Original (uncompressed) load address of the program.
+        lat_base: Physical address of the LAT in instruction memory.
+        code_base: Physical address of block 0.
+        line_size: Cache-line size in bytes.
+        original_size: Unpadded original text-segment size in bytes.
+        charge_code_table: Whether stored-size accounting includes a
+            256-byte code listing (per-program codes need it; a
+            preselected code is hard-wired and free).
+    """
+
+    code: HuffmanCode
+    blocks: tuple[CompressedBlock, ...]
+    lat: LineAddressTable
+    text_base: int
+    lat_base: int
+    code_base: int
+    line_size: int
+    original_size: int
+    charge_code_table: bool = False
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def padded_original_size(self) -> int:
+        """Original size rounded up to a whole number of lines."""
+        return len(self.blocks) * self.line_size
+
+    @property
+    def compressed_code_bytes(self) -> int:
+        """Bytes of compressed blocks alone (no LAT, no code table)."""
+        return sum(block.stored_size for block in self.blocks)
+
+    @property
+    def code_table_bytes(self) -> int:
+        """Bytes charged for storing the Huffman code listing."""
+        return self.code.table_storage_bytes if self.charge_code_table else 0
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Everything in instruction memory: blocks + LAT + code table."""
+        return self.compressed_code_bytes + self.lat.storage_bytes + self.code_table_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored size (blocks + code table, no LAT) over original size.
+
+        This is the Figure 5 metric; the LAT overhead is reported
+        separately because the paper quotes it separately (3.125 %).
+        """
+        return (self.compressed_code_bytes + self.code_table_bytes) / self.original_size
+
+    @property
+    def total_ratio_with_lat(self) -> float:
+        """Stored size including the LAT, over original size."""
+        return self.total_stored_bytes / self.original_size
+
+    # ------------------------------------------------------------------
+    # Line bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def line_count(self) -> int:
+        return len(self.blocks)
+
+    def line_index(self, line_number: int) -> int:
+        """Translate an absolute line number to a block index."""
+        return line_number - (self.text_base // self.line_size)
+
+    def block_for_line(self, line_number: int) -> CompressedBlock:
+        """The compressed block holding absolute line ``line_number``."""
+        return self.blocks[self.line_index(line_number)]
+
+    # ------------------------------------------------------------------
+    # Memory image
+    # ------------------------------------------------------------------
+
+    def memory_image(self) -> bytes:
+        """Serialise LAT + blocks exactly as laid out in memory.
+
+        The returned bytes start at ``lat_base``; ``code_base`` equals
+        ``lat_base + lat.storage_bytes``.
+        """
+        return self.lat.serialize() + b"".join(block.data for block in self.blocks)

@@ -1,0 +1,87 @@
+"""Cache refill timing for both machine models.
+
+The :class:`RefillEngine` precomputes, for one compressed image and one
+memory model, the refill cost of every static cache line — the CCRP side
+uses the decoder model per line, the baseline side is a constant 8-word
+burst.  Miss streams from the cache simulator then reduce to cycle totals
+with one vectorised gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ccrp.decoder import DecoderModel
+from repro.ccrp.image import CompressedImage
+from repro.lat.entry import ENTRY_BYTES
+from repro.memsys.models import MemoryModel, get_memory_model
+
+
+class RefillEngine:
+    """Per-line refill costs for a compressed image under one memory model.
+
+    Args:
+        image: The compressed program.
+        memory: Memory model (instance or name).
+        decoder: Decoder timing model.
+    """
+
+    def __init__(
+        self,
+        image: CompressedImage,
+        memory: MemoryModel | str,
+        decoder: DecoderModel | None = None,
+    ) -> None:
+        self.image = image
+        self.memory = get_memory_model(memory)
+        self.decoder = decoder or DecoderModel()
+        self._ccrp_cycles = np.array(
+            [self.decoder.refill_cycles(block, self.memory) for block in image.blocks],
+            dtype=np.int64,
+        )
+        bus = self.memory.bus_bytes
+        self._fetched_bytes = np.array(
+            [bus * self.memory.beats_for_bytes(block.stored_size) for block in image.blocks],
+            dtype=np.int64,
+        )
+        self.baseline_refill_cycles = self.memory.bytes_read_cycles(image.line_size)
+
+    # ------------------------------------------------------------------
+    # Per-line views
+    # ------------------------------------------------------------------
+
+    @property
+    def ccrp_refill_cycles(self) -> np.ndarray:
+        """Refill cycles of each static line on the CCRP (CLB hit case)."""
+        return self._ccrp_cycles
+
+    @property
+    def fetched_bytes_per_line(self) -> np.ndarray:
+        """Bus bytes fetched to refill each static line on the CCRP."""
+        return self._fetched_bytes
+
+    @property
+    def lat_fetch_cycles(self) -> int:
+        """Extra cycles a CLB miss adds: one 8-byte LAT-entry read."""
+        return self.memory.bytes_read_cycles(ENTRY_BYTES)
+
+    # ------------------------------------------------------------------
+    # Miss-stream reductions
+    # ------------------------------------------------------------------
+
+    def ccrp_miss_cycles(self, miss_line_indices: np.ndarray) -> int:
+        """Total CCRP refill cycles for a stream of missed line indices
+        (CLB penalties excluded; add ``clb_misses * lat_fetch_cycles``)."""
+        if len(miss_line_indices) == 0:
+            return 0
+        return int(self._ccrp_cycles[miss_line_indices].sum())
+
+    def baseline_miss_cycles(self, miss_count: int) -> int:
+        """Total baseline refill cycles for ``miss_count`` misses."""
+        return miss_count * self.baseline_refill_cycles
+
+    def ccrp_fetched_bytes(self, miss_line_indices: np.ndarray) -> int:
+        """Bus bytes the CCRP fetched for these misses (blocks only)."""
+        if len(miss_line_indices) == 0:
+            return 0
+        return int(self._fetched_bytes[miss_line_indices].sum())

@@ -1,0 +1,79 @@
+"""MSB-first bit stream I/O.
+
+The CCRP's refill-engine decoder consumes the compressed stream most
+significant bit first, one symbol at a time; these helpers are the software
+equivalent used by every Huffman codec in the package.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressionError
+
+
+class BitWriter:
+    """Accumulates variable-length codes into a byte string, MSB first."""
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+        self._accumulator = 0
+        self._filled = 0  # bits currently in the accumulator
+
+    def write(self, code: int, length: int) -> None:
+        """Append the ``length`` low bits of ``code``."""
+        if length <= 0:
+            raise CompressionError(f"code length must be positive, got {length}")
+        if code >> length:
+            raise CompressionError(f"code {code:#x} does not fit in {length} bits")
+        self._accumulator = (self._accumulator << length) | code
+        self._filled += length
+        while self._filled >= 8:
+            self._filled -= 8
+            self._chunks.append((self._accumulator >> self._filled) & 0xFF)
+        self._accumulator &= (1 << self._filled) - 1
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._chunks) * 8 + self._filled
+
+    def getvalue(self) -> bytes:
+        """The stream so far, zero-padded to a whole number of bytes."""
+        if self._filled == 0:
+            return bytes(self._chunks)
+        tail = (self._accumulator << (8 - self._filled)) & 0xFF
+        return bytes(self._chunks) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit cursor
+
+    @property
+    def position(self) -> int:
+        """Current bit offset from the start of the stream."""
+        return self._position
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the end of the underlying bytes."""
+        return len(self._data) * 8 - self._position
+
+    def read_bit(self) -> int:
+        if self._position >= len(self._data) * 8:
+            raise CompressionError("bit stream exhausted")
+        byte = self._data[self._position >> 3]
+        bit = (byte >> (7 - (self._position & 7))) & 1
+        self._position += 1
+        return bit
+
+    def read(self, count: int) -> int:
+        """Read ``count`` bits as one unsigned integer."""
+        if count < 0:
+            raise CompressionError(f"cannot read {count} bits")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

@@ -1,0 +1,35 @@
+"""Byte-frequency histograms.
+
+Huffman code construction starts from a frequency-of-occurrence histogram
+of program bytes (paper, Section 2.2).  The preselected code merges the
+histograms of an entire program corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+def byte_histogram(data: bytes) -> list[int]:
+    """Occurrence count of each byte value 0-255 in ``data``."""
+    histogram = [0] * 256
+    for value, count in Counter(data).items():
+        histogram[value] = count
+    return histogram
+
+
+def merge_histograms(histograms: Iterable[list[int]]) -> list[int]:
+    """Element-wise sum of several byte histograms."""
+    merged = [0] * 256
+    for histogram in histograms:
+        if len(histogram) != 256:
+            raise ValueError(f"histogram must have 256 entries, got {len(histogram)}")
+        for index, count in enumerate(histogram):
+            merged[index] += count
+    return merged
+
+
+def corpus_histogram(programs: Iterable[bytes]) -> list[int]:
+    """Merged byte histogram of a program corpus (for preselected codes)."""
+    return merge_histograms(byte_histogram(program) for program in programs)

@@ -1,0 +1,42 @@
+"""Preselected Bounded Huffman codes.
+
+The paper's key practical simplification (Section 2.2): instead of storing
+a per-program code table and making the decode hardware programmable, build
+one Bounded Huffman code from a corpus of representative programs and
+hard-wire it into the refill-engine decoder.  "Since code from a given
+architecture often has similar characteristics, such a scheme is feasible."
+
+A preselected code must be able to encode *any* byte value — programs
+outside the training corpus may contain bytes the corpus never produced —
+so construction smooths the corpus histogram with add-one counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.compression.histogram import corpus_histogram
+from repro.compression.huffman import HuffmanCode
+
+#: The paper's decoder-hardware bound on code-word length.
+DEFAULT_MAX_LENGTH = 16
+
+
+def build_preselected_code(
+    corpus: Iterable[bytes],
+    max_length: int = DEFAULT_MAX_LENGTH,
+) -> HuffmanCode:
+    """Train a Bounded Huffman code on a corpus of program images.
+
+    Args:
+        corpus: Text-segment byte strings of the training programs (the
+            paper uses the ten programs of Figure 5).
+        max_length: Decoder bound on code length (16 in the paper).
+
+    Returns:
+        A :class:`HuffmanCode` covering all 256 byte values.
+    """
+    histogram = corpus_histogram(corpus)
+    return HuffmanCode.from_frequencies(
+        histogram, max_length=max_length, cover_all_symbols=True
+    )

@@ -1,0 +1,56 @@
+"""System configuration for the trace-driven experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.cache.datacache import DataCacheModel
+from repro.ccrp.decoder import DecoderModel
+from repro.compression.block import BYTE_ALIGNED, WORD_ALIGNED
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One point in the paper's design space.
+
+    Defaults reproduce the proposed implementation of Section 3: 1 KB
+    direct-mapped I-cache with 32-byte lines, 16-entry CLB, byte-aligned
+    compressed blocks, a 2-byte-per-cycle hard-wired decoder, and no data
+    cache (every data access a 4-cycle random DRAM read).
+
+    Attributes:
+        cache_bytes: Instruction-cache capacity (256-4096 in the paper).
+        line_size: Cache-line size in bytes.
+        memory: Instruction-memory model name (``"eprom"``,
+            ``"burst_eprom"``, ``"sc_dram"``) or a
+            :class:`~repro.memsys.models.MemoryModel`.
+        clb_entries: CLB capacity in LAT entries.
+        decoder: Refill-decoder timing model.
+        data_cache: Analytic data-cache model (miss rate 1.0 = none).
+        block_alignment: Compressed-block alignment (1 = byte, 4 = word).
+    """
+
+    cache_bytes: int = 1024
+    line_size: int = 32
+    memory: object = "eprom"
+    clb_entries: int = 16
+    decoder: DecoderModel = field(default_factory=DecoderModel)
+    data_cache: DataCacheModel = field(default_factory=DataCacheModel)
+    block_alignment: int = BYTE_ALIGNED
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < self.line_size:
+            raise ConfigurationError(
+                f"cache of {self.cache_bytes} B cannot hold a {self.line_size} B line"
+            )
+        if self.block_alignment not in (BYTE_ALIGNED, WORD_ALIGNED):
+            raise ConfigurationError(
+                f"block alignment must be 1 or 4, got {self.block_alignment}"
+            )
+        if self.clb_entries < 1:
+            raise ConfigurationError("CLB needs at least one entry")
+
+    def with_options(self, **changes) -> "SystemConfig":
+        """A copy with the given fields replaced (sweep helper)."""
+        return replace(self, **changes)

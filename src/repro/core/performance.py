@@ -1,0 +1,105 @@
+"""Performance results: per-machine metrics and the paper's comparison.
+
+The paper reports, per experiment (Tables 1-13):
+
+* *Relative Performance* — which its prose pins down as relative execution
+  time, T_CCRP / T_standard (values below 1.0 mean the compressed-code
+  machine is *faster*; "the execution time increases by less than ten
+  percent" next to Burst-EPROM entries like 1.098);
+* *Cache Miss Rate* — identical for both machines by construction;
+* *Memory Traffic* — CCRP instruction-memory bytes (including LAT-entry
+  reads) as a fraction of the standard machine's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemMetrics:
+    """Cycle and traffic totals for one machine on one trace.
+
+    Attributes:
+        base_cycles: Issue cycles plus pipeline stalls (memory-independent).
+        refill_cycles: Instruction-cache refill cycles, including any
+            CLB/LAT penalty on the CCRP.
+        data_cycles: Data-access penalty cycles.
+        instruction_traffic_bytes: Bytes fetched from instruction memory.
+        misses: Instruction-cache miss count.
+        accesses: Instruction fetch count.
+        clb_misses: CLB misses (0 for the standard machine).
+    """
+
+    base_cycles: int
+    refill_cycles: int
+    data_cycles: int
+    instruction_traffic_bytes: int
+    misses: int
+    accesses: int
+    clb_misses: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Execution time in processor cycles."""
+        return self.base_cycles + self.refill_cycles + self.data_cycles
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (accesses = dynamic instructions)."""
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Standard RISC vs CCRP on one workload and configuration.
+
+    Attributes:
+        program: Workload name.
+        cache_bytes: Instruction-cache size simulated.
+        memory: Memory-model name.
+        clb_entries: CLB capacity used by the CCRP machine.
+        data_cache_miss_rate: Data-cache miss rate applied to both.
+        baseline: Metrics of the standard RISC system.
+        ccrp: Metrics of the compressed-code system.
+        compression_ratio: Stored-size ratio of the compressed image
+            (blocks + LAT over original bytes).
+    """
+
+    program: str
+    cache_bytes: int
+    memory: str
+    clb_entries: int
+    data_cache_miss_rate: float
+    baseline: SystemMetrics
+    ccrp: SystemMetrics
+    compression_ratio: float
+
+    @property
+    def relative_execution_time(self) -> float:
+        """T_CCRP / T_standard — the paper's "Relative Performance"."""
+        return self.ccrp.total_cycles / self.baseline.total_cycles
+
+    @property
+    def miss_rate(self) -> float:
+        """Instruction-cache miss rate (same for both machines)."""
+        return self.baseline.miss_rate
+
+    @property
+    def memory_traffic_ratio(self) -> float:
+        """CCRP instruction-memory traffic over the standard machine's."""
+        if self.baseline.instruction_traffic_bytes == 0:
+            return 1.0
+        return (
+            self.ccrp.instruction_traffic_bytes
+            / self.baseline.instruction_traffic_bytes
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Standard-time over CCRP-time (> 1 means the CCRP wins)."""
+        return 1.0 / self.relative_execution_time

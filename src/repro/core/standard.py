@@ -1,0 +1,22 @@
+"""The standard Preselected Bounded Huffman code.
+
+The paper builds one 16-bit-bounded Huffman code from the byte histogram
+of all ten Figure 5 programs and hard-wires it into the decoder; the same
+code is then used for *every* experiment, including programs outside the
+training set (nasa1, tomcatv, fpppp, …).  ``standard_code()`` is that
+code for this library's corpus.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.compression.huffman import HuffmanCode
+from repro.compression.preselected import build_preselected_code
+from repro.workloads.suite import load_figure5_corpus
+
+
+@lru_cache(maxsize=1)
+def standard_code(max_length: int = 16) -> HuffmanCode:
+    """The library's hard-wired preselected bounded Huffman code."""
+    return build_preselected_code(load_figure5_corpus().values(), max_length=max_length)

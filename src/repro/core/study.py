@@ -1,0 +1,166 @@
+"""Trace-driven comparison of the standard RISC and CCRP machines.
+
+:class:`ProgramStudy` owns everything reusable about one workload — its
+execution trace, compressed image, per-cache-size miss streams, and
+per-CLB-size miss counts — so design-space sweeps (the paper's Tables 1-13
+and Figure 9) pay for each expensive piece exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.direct_mapped import simulate_trace
+from repro.cache.stats import CacheStats
+from repro.ccrp.clb import CLB
+from repro.ccrp.compressor import ProgramCompressor
+from repro.ccrp.refill import RefillEngine
+from repro.compression.huffman import HuffmanCode
+from repro.core.config import SystemConfig
+from repro.core.performance import ComparisonReport, SystemMetrics
+from repro.core.standard import standard_code
+from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY
+from repro.memsys.models import get_memory_model
+from repro.workloads.suite import Workload, load
+
+
+class ProgramStudy:
+    """Cached per-workload simulation state for design-space sweeps.
+
+    Args:
+        workload: A suite name or a :class:`~repro.workloads.suite.Workload`.
+        code: Huffman code for the CCRP image; defaults to the library's
+            standard preselected bounded code.
+        block_alignment: Compressed-block alignment (1 = byte, 4 = word).
+        max_instructions: Trace-length cap passed to the executor.
+    """
+
+    def __init__(
+        self,
+        workload: str | Workload,
+        code: HuffmanCode | None = None,
+        block_alignment: int = 1,
+        max_instructions: int = 4_000_000,
+    ) -> None:
+        self.workload = load(workload) if isinstance(workload, str) else workload
+        self.code = code if code is not None else standard_code()
+        self.execution = self.workload.run(max_instructions=max_instructions)
+        compressor = ProgramCompressor(self.code, alignment=block_alignment)
+        self.image = compressor.compress(
+            self.workload.text, text_base=self.workload.program.text_base
+        )
+        self._cache_stats: dict[int, CacheStats] = {}
+        self._clb_misses: dict[tuple[int, int], int] = {}
+        self._engines: dict[str, RefillEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Cached building blocks
+    # ------------------------------------------------------------------
+
+    def cache_stats(self, cache_bytes: int) -> CacheStats:
+        """Miss statistics for one cache size (cached)."""
+        stats = self._cache_stats.get(cache_bytes)
+        if stats is None:
+            stats = simulate_trace(
+                self.execution.trace.addresses, cache_bytes, self.image.line_size
+            )
+            self._cache_stats[cache_bytes] = stats
+        return stats
+
+    def clb_miss_count(self, cache_bytes: int, clb_entries: int) -> int:
+        """CLB misses over the miss stream of one cache size (cached)."""
+        key = (cache_bytes, clb_entries)
+        count = self._clb_misses.get(key)
+        if count is None:
+            miss_lines = self.cache_stats(cache_bytes).miss_lines
+            lat_indices = miss_lines // LINES_PER_ENTRY
+            count = CLB(entries=clb_entries).simulate(lat_indices.tolist())
+            self._clb_misses[key] = count
+        return count
+
+    def refill_engine(self, memory: object, decoder) -> RefillEngine:
+        """Refill-cost tables for one memory model (cached per name)."""
+        model = get_memory_model(memory)
+        key = f"{model.name}/{decoder.bytes_per_cycle}/{decoder.detailed}"
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = RefillEngine(self.image, model, decoder)
+            self._engines[key] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # The comparison itself
+    # ------------------------------------------------------------------
+
+    def metrics(self, config: SystemConfig) -> ComparisonReport:
+        """Simulate both machines under ``config`` and compare."""
+        stats = self.cache_stats(config.cache_bytes)
+        engine = self.refill_engine(config.memory, config.decoder)
+        model = get_memory_model(config.memory)
+        execution = self.execution
+
+        data_cycles = config.data_cache.penalty_cycles(execution.data_accesses)
+        base_cycles = execution.base_cycles
+
+        # --- standard RISC machine --------------------------------------
+        baseline = SystemMetrics(
+            base_cycles=base_cycles,
+            refill_cycles=engine.baseline_miss_cycles(stats.misses),
+            data_cycles=data_cycles,
+            instruction_traffic_bytes=stats.misses * self.image.line_size,
+            misses=stats.misses,
+            accesses=stats.accesses,
+        )
+
+        # --- compressed code machine ------------------------------------
+        miss_line_indices = self._line_indices(stats.miss_lines)
+        clb_misses = self.clb_miss_count(config.cache_bytes, config.clb_entries)
+        ccrp_refill = (
+            engine.ccrp_miss_cycles(miss_line_indices)
+            + clb_misses * engine.lat_fetch_cycles
+        )
+        ccrp_traffic = (
+            engine.ccrp_fetched_bytes(miss_line_indices) + clb_misses * ENTRY_BYTES
+        )
+        ccrp = SystemMetrics(
+            base_cycles=base_cycles,
+            refill_cycles=ccrp_refill,
+            data_cycles=data_cycles,
+            instruction_traffic_bytes=ccrp_traffic,
+            misses=stats.misses,
+            accesses=stats.accesses,
+            clb_misses=clb_misses,
+        )
+
+        return ComparisonReport(
+            program=self.workload.name,
+            cache_bytes=config.cache_bytes,
+            memory=model.name,
+            clb_entries=config.clb_entries,
+            data_cache_miss_rate=config.data_cache.miss_rate,
+            baseline=baseline,
+            ccrp=ccrp,
+            compression_ratio=self.image.total_ratio_with_lat,
+        )
+
+    def _line_indices(self, miss_lines: np.ndarray) -> np.ndarray:
+        base_line = self.workload.program.text_base // self.image.line_size
+        return miss_lines - base_line
+
+
+_STUDIES: dict[tuple[str, int], ProgramStudy] = {}
+
+
+def compare(workload: str, config: SystemConfig | None = None) -> ComparisonReport:
+    """One-call comparison: workload name + config -> report.
+
+    Studies are cached per (workload, block alignment), so sweeping
+    configurations stays cheap.
+    """
+    config = config or SystemConfig()
+    key = (workload, config.block_alignment)
+    study = _STUDIES.get(key)
+    if study is None:
+        study = ProgramStudy(workload, block_alignment=config.block_alignment)
+        _STUDIES[key] = study
+    return study.metrics(config)

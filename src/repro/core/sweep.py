@@ -1,0 +1,142 @@
+"""Structured design-space sweeps.
+
+The paper's evaluation is a grid: programs x cache sizes x memory models
+x CLB sizes x data-cache miss rates.  :func:`sweep` runs any sub-grid of
+that space through one cached :class:`~repro.core.study.ProgramStudy` and
+returns the reports in a form that is easy to filter, rank, and export —
+the API equivalent of "this could be determined at development time".
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.datacache import DataCacheModel
+from repro.ccrp.decoder import DecoderModel
+from repro.core.config import SystemConfig
+from repro.core.performance import ComparisonReport
+from repro.core.study import ProgramStudy
+from repro.workloads.suite import Workload
+
+#: Columns written by :meth:`SweepResult.to_csv`, in order.
+CSV_COLUMNS = (
+    "program",
+    "memory",
+    "cache_bytes",
+    "clb_entries",
+    "data_cache_miss_rate",
+    "miss_rate",
+    "relative_execution_time",
+    "memory_traffic_ratio",
+    "compression_ratio",
+)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All comparison reports from one sweep."""
+
+    reports: tuple[ComparisonReport, ...]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def filter(self, **criteria) -> "SweepResult":
+        """Keep reports whose attributes equal the given values, e.g.
+        ``result.filter(memory="eprom", cache_bytes=1024)``."""
+        kept = [
+            report
+            for report in self.reports
+            if all(getattr(report, key) == value for key, value in criteria.items())
+        ]
+        return SweepResult(reports=tuple(kept))
+
+    def best(self) -> ComparisonReport:
+        """The configuration with the lowest relative execution time."""
+        if not self.reports:
+            raise ValueError("empty sweep")
+        return min(self.reports, key=lambda report: report.relative_execution_time)
+
+    def worst(self) -> ComparisonReport:
+        """The configuration where the CCRP costs the most time."""
+        if not self.reports:
+            raise ValueError("empty sweep")
+        return max(self.reports, key=lambda report: report.relative_execution_time)
+
+    def rows(self) -> list[dict[str, object]]:
+        """One flat dict per report, keyed by :data:`CSV_COLUMNS`."""
+        return [
+            {
+                "program": report.program,
+                "memory": report.memory,
+                "cache_bytes": report.cache_bytes,
+                "clb_entries": report.clb_entries,
+                "data_cache_miss_rate": report.data_cache_miss_rate,
+                "miss_rate": report.miss_rate,
+                "relative_execution_time": report.relative_execution_time,
+                "memory_traffic_ratio": report.memory_traffic_ratio,
+                "compression_ratio": report.compression_ratio,
+            }
+            for report in self.reports
+        ]
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the sweep as CSV; returns the path written."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+            writer.writeheader()
+            writer.writerows(self.rows())
+        return path
+
+
+def sweep(
+    workload: str | Workload,
+    cache_sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
+    memories: Sequence[str] = ("eprom", "burst_eprom", "sc_dram"),
+    clb_entries: Sequence[int] = (16,),
+    data_miss_rates: Sequence[float] = (1.0,),
+    decoder: DecoderModel | None = None,
+    study: ProgramStudy | None = None,
+) -> SweepResult:
+    """Run the full cross product of the given parameter axes.
+
+    Args:
+        workload: Suite name or :class:`Workload` instance.
+        cache_sizes: Instruction-cache sizes to simulate.
+        memories: Memory-model names.
+        clb_entries: CLB capacities.
+        data_miss_rates: Data-cache miss rates for the analytic model.
+        decoder: Decoder model override (defaults to the paper's).
+        study: Reuse an existing study (e.g. with a custom code).
+    """
+    study = study or ProgramStudy(workload)
+    decoder = decoder or DecoderModel()
+    reports = []
+    for memory in memories:
+        for cache_bytes in cache_sizes:
+            for entries in clb_entries:
+                for miss_rate in data_miss_rates:
+                    config = SystemConfig(
+                        cache_bytes=cache_bytes,
+                        memory=memory,
+                        clb_entries=entries,
+                        decoder=decoder,
+                        data_cache=DataCacheModel(miss_rate=miss_rate),
+                    )
+                    reports.append(study.metrics(config))
+    return SweepResult(reports=tuple(reports))
+
+
+def sweep_many(
+    workloads: Iterable[str],
+    **axes,
+) -> SweepResult:
+    """Sweep several workloads and concatenate the results."""
+    reports: list[ComparisonReport] = []
+    for workload in workloads:
+        reports.extend(sweep(workload, **axes).reports)
+    return SweepResult(reports=tuple(reports))

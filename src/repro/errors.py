@@ -1,0 +1,45 @@
+"""Exception hierarchy for the CCRP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into its binary form."""
+
+
+class DecodingError(ReproError):
+    """A 32-bit word could not be decoded into a known instruction."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source was malformed (bad mnemonic, operand, or label)."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit an unrecoverable condition."""
+
+
+class CompressionError(ReproError):
+    """A codec was misused or produced an invalid stream."""
+
+
+class LATError(ReproError):
+    """A Line Address Table constraint was violated."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration parameter is out of its supported range."""

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+| Module | Paper artifact |
+|---|---|
+| :mod:`repro.experiments.figure5` | Figure 5 — four compression methods |
+| :mod:`repro.experiments.tables1_8` | Tables 1-8 — performance vs cache size |
+| :mod:`repro.experiments.tables9_10` | Tables 9-10 — CLB size effects |
+| :mod:`repro.experiments.figure9` | Figure 9 — performance vs miss rate |
+| :mod:`repro.experiments.tables11_13` | Tables 11-13 — data cache effects |
+| :mod:`repro.experiments.ablations` | extra: LAT packing, alignment, decode rate |
+
+Run from the command line::
+
+    python -m repro.experiments all
+    python -m repro.experiments figure5 tables1-8
+"""
+
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.tables1_8 import run_tables1_8
+from repro.experiments.tables9_10 import run_tables9_10
+from repro.experiments.tables11_13 import run_tables11_13
+
+__all__ = [
+    "run_figure5",
+    "run_figure9",
+    "run_tables1_8",
+    "run_tables9_10",
+    "run_tables11_13",
+]

@@ -1,0 +1,134 @@
+"""Ablation studies for the design choices the paper calls out.
+
+Three knobs the paper discusses but does not tabulate:
+
+* **LAT packing** (Section 3.2) — the packed 8-byte entry (3.125 %
+  overhead) vs the naive 4-byte pointer per line (12.5 %).
+* **Block alignment** (Figure 1) — byte-aligned blocks compress slightly
+  better; word alignment simplifies the fetch hardware.
+* **Decoder rate** (Sections 3.4 / 5) — the 2-bytes-per-cycle decoder is
+  matched to a 32-bit bus; the paper flags faster decoders as future
+  work.  We sweep 1, 2, and 4 bytes per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccrp.decoder import DecoderModel
+from repro.compression.block import BYTE_ALIGNED, WORD_ALIGNED
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import percent, render_table
+
+
+@dataclass(frozen=True)
+class LATAblationRow:
+    program: str
+    packed_overhead: float
+    naive_overhead: float
+
+
+@dataclass(frozen=True)
+class AlignmentAblationRow:
+    program: str
+    byte_aligned_ratio: float
+    word_aligned_ratio: float
+
+
+@dataclass(frozen=True)
+class DecoderAblationRow:
+    program: str
+    memory: str
+    relative_performance: dict[int, float]  # bytes/cycle -> rel perf
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    lat_rows: tuple[LATAblationRow, ...]
+    alignment_rows: tuple[AlignmentAblationRow, ...]
+    decoder_rows: tuple[DecoderAblationRow, ...]
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                "Ablation A: LAT storage overhead (packed entry vs naive pointers)",
+                ("Program", "Packed (8B/8 lines)", "Naive (4B/line)"),
+                [
+                    (row.program, percent(row.packed_overhead), percent(row.naive_overhead))
+                    for row in self.lat_rows
+                ],
+            ),
+            render_table(
+                "Ablation B: compressed size, byte vs word aligned blocks (incl. LAT)",
+                ("Program", "Byte aligned", "Word aligned"),
+                [
+                    (
+                        row.program,
+                        percent(row.byte_aligned_ratio, 1),
+                        percent(row.word_aligned_ratio, 1),
+                    )
+                    for row in self.alignment_rows
+                ],
+            ),
+            render_table(
+                "Ablation C: relative performance vs decoder rate (1 KB cache)",
+                ("Program", "Memory", "1 B/cycle", "2 B/cycle", "4 B/cycle"),
+                [
+                    (
+                        row.program,
+                        row.memory,
+                        row.relative_performance[1],
+                        row.relative_performance[2],
+                        row.relative_performance[4],
+                    )
+                    for row in self.decoder_rows
+                ],
+            ),
+        ]
+        return "\n\n".join(parts)
+
+
+def run_ablations(
+    programs: tuple[str, ...] = ("espresso", "nasa7", "fpppp"),
+) -> AblationResult:
+    """Run all three ablations."""
+    lat_rows = []
+    alignment_rows = []
+    decoder_rows = []
+    for program in programs:
+        byte_study = ProgramStudy(program, block_alignment=BYTE_ALIGNED)
+        word_study = ProgramStudy(program, block_alignment=WORD_ALIGNED)
+        lat = byte_study.image.lat
+        original = byte_study.image.original_size
+        lat_rows.append(
+            LATAblationRow(
+                program=program,
+                packed_overhead=lat.storage_bytes / original,
+                naive_overhead=lat.naive_overhead_bytes / original,
+            )
+        )
+        alignment_rows.append(
+            AlignmentAblationRow(
+                program=program,
+                byte_aligned_ratio=byte_study.image.total_ratio_with_lat,
+                word_aligned_ratio=word_study.image.total_ratio_with_lat,
+            )
+        )
+        for memory in ("eprom", "burst_eprom"):
+            relative = {}
+            for rate in (1, 2, 4):
+                config = SystemConfig(
+                    cache_bytes=1024, memory=memory, decoder=DecoderModel(bytes_per_cycle=rate)
+                )
+                relative[rate] = byte_study.metrics(config).relative_execution_time
+            decoder_rows.append(
+                DecoderAblationRow(
+                    program=program, memory=memory, relative_performance=relative
+                )
+            )
+    return AblationResult(
+        lat_rows=tuple(lat_rows),
+        alignment_rows=tuple(alignment_rows),
+        decoder_rows=tuple(decoder_rows),
+    )

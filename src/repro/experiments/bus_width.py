@@ -1,0 +1,96 @@
+"""Bus-width sensitivity (paper Sections 3.4 and 5).
+
+"A two byte per cycle decoder can provide adequate performance to keep up
+with a 32-bit memory bus, however if 64 and 128-bit busses become common
+in embedded designs the cost of an adequate decoder will grow rapidly."
+
+This experiment quantifies that warning: for each bus width (32/64/128
+bits over the same burst-EPROM array) and each decoder rate (2/4/8 bytes
+per cycle), the CCRP's relative execution time.  A wider bus speeds the
+*baseline* refill linearly, so the compressed machine must scale its
+decoder to match — the diagonal of the table is flat, everything below
+it degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ccrp.decoder import DecoderModel
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import render_table
+from repro.memsys.models import BURST_EPROM
+
+#: Bus widths in bytes (32-, 64-, 128-bit buses).
+BUS_WIDTHS = (4, 8, 16)
+
+#: Decoder output rates in bytes per cycle.
+DECODER_RATES = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class BusWidthRow:
+    program: str
+    bus_bytes: int
+    baseline_refill_cycles: int
+    relative_performance: dict[int, float]  # decoder rate -> rel time
+
+
+@dataclass(frozen=True)
+class BusWidthResult:
+    rows: tuple[BusWidthRow, ...]
+
+    def render(self) -> str:
+        return render_table(
+            "Bus-width sensitivity (Burst EPROM array, 1 KB cache)",
+            ("Program", "Bus", "Std refill")
+            + tuple(f"{rate} B/cyc decoder" for rate in DECODER_RATES),
+            [
+                (
+                    row.program,
+                    f"{row.bus_bytes * 8}-bit",
+                    f"{row.baseline_refill_cycles} cyc",
+                )
+                + tuple(row.relative_performance[rate] for rate in DECODER_RATES)
+                for row in self.rows
+            ],
+        ) + (
+            "\n\nWider buses cut the standard machine's refill; the CCRP must"
+            "\nscale its decoder with the bus to stay competitive (paper 3.4/5)."
+        )
+
+    def row_for(self, program: str, bus_bytes: int) -> BusWidthRow:
+        for row in self.rows:
+            if row.program == program and row.bus_bytes == bus_bytes:
+                return row
+        raise KeyError((program, bus_bytes))
+
+
+def run_bus_width(
+    programs: tuple[str, ...] = ("espresso", "nasa7", "fpppp"),
+    cache_bytes: int = 1024,
+) -> BusWidthResult:
+    """Sweep bus width x decoder rate over the given programs."""
+    rows = []
+    for program in programs:
+        study = ProgramStudy(program)
+        for bus_bytes in BUS_WIDTHS:
+            memory = BURST_EPROM.with_bus_bytes(bus_bytes)
+            relative = {}
+            for rate in DECODER_RATES:
+                config = SystemConfig(
+                    cache_bytes=cache_bytes,
+                    memory=memory,
+                    decoder=DecoderModel(bytes_per_cycle=rate),
+                )
+                relative[rate] = study.metrics(config).relative_execution_time
+            rows.append(
+                BusWidthRow(
+                    program=program,
+                    bus_bytes=bus_bytes,
+                    baseline_refill_cycles=memory.bytes_read_cycles(32),
+                    relative_performance=relative,
+                )
+            )
+    return BusWidthResult(rows=tuple(rows))

@@ -1,0 +1,48 @@
+"""Machine-readable export of experiment results.
+
+Every experiment result is a tree of frozen dataclasses; this module
+serialises them to JSON (for downstream analysis and regression diffing)
+and writes the rendered text tables alongside, so a single
+``ccrp-experiments all --output-dir results/`` leaves a complete,
+versionable record of a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+
+def result_to_dict(result: object) -> object:
+    """Recursively convert a result dataclass tree to JSON-able data."""
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        return {
+            field.name: result_to_dict(getattr(result, field.name))
+            for field in dataclasses.fields(result)
+        }
+    if isinstance(result, dict):
+        return {str(key): result_to_dict(value) for key, value in result.items()}
+    if isinstance(result, (list, tuple)):
+        return [result_to_dict(item) for item in result]
+    if isinstance(result, (str, int, float, bool)) or result is None:
+        return result
+    if hasattr(result, "item"):  # numpy scalars
+        return result.item()
+    return str(result)
+
+
+def export_result(result: object, name: str, output_dir: Path) -> tuple[Path, Path]:
+    """Write ``<name>.json`` and ``<name>.txt`` under ``output_dir``.
+
+    Returns the two paths written.
+    """
+    output_dir.mkdir(parents=True, exist_ok=True)
+    json_path = output_dir / f"{name}.json"
+    text_path = output_dir / f"{name}.txt"
+    json_path.write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n"
+    )
+    render = getattr(result, "render", None)
+    text_path.write_text((render() if callable(render) else str(result)) + "\n")
+    return json_path, text_path

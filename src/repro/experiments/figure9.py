@@ -1,0 +1,106 @@
+"""Figure 9 — relative performance vs instruction-cache miss rate.
+
+The paper plots most of the Section 4.2.1 results as one scatter: for
+slow (EPROM) memory the compressed-code machine wins more as the miss
+rate rises; for faster memory (Burst EPROM, DRAM) it loses more.  The
+reproduction regenerates the same point cloud and fits the per-model
+trend slope so the crossing behaviour can be asserted numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import ascii_scatter
+from repro.experiments.tables1_8 import CACHE_SIZES
+from repro.workloads.suite import SIMULATION_PROGRAMS
+
+#: Marker characters per memory model, as in the paper's legend.
+MARKERS = {"eprom": "x", "burst_eprom": "o", "sc_dram": "+"}
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One simulation result in Figure 9 space."""
+
+    program: str
+    memory: str
+    cache_bytes: int
+    miss_rate: float
+    relative_performance: float
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    points: tuple[ScatterPoint, ...]
+
+    def points_for(self, memory: str) -> list[ScatterPoint]:
+        return [point for point in self.points if point.memory == memory]
+
+    def trend_slope(self, memory: str) -> float:
+        """Least-squares slope of relative performance vs miss rate."""
+        selected = self.points_for(memory)
+        x = np.array([point.miss_rate for point in selected])
+        y = np.array([point.relative_performance for point in selected])
+        if len(x) < 2 or np.ptp(x) == 0:
+            return 0.0
+        return float(np.polyfit(x, y, 1)[0])
+
+    def render(self) -> str:
+        plot = ascii_scatter(
+            [
+                (point.miss_rate, point.relative_performance, MARKERS[point.memory])
+                for point in self.points
+            ],
+            x_label="instruction cache miss rate",
+            y_label="relative performance (T_CCRP / T_std)",
+        )
+        legend = "  ".join(f"{marker} = {memory}" for memory, marker in MARKERS.items())
+        slopes = "  ".join(
+            f"{memory}: slope {self.trend_slope(memory):+.2f}" for memory in MARKERS
+        )
+        csv_lines = ["program,memory,cache_bytes,miss_rate,relative_performance"]
+        csv_lines += [
+            f"{p.program},{p.memory},{p.cache_bytes},{p.miss_rate:.5f},"
+            f"{p.relative_performance:.4f}"
+            for p in self.points
+        ]
+        return "\n".join(
+            [
+                "Figure 9 - Performance vs. Instruction Cache Miss Rate",
+                plot,
+                legend,
+                slopes,
+                "",
+                "\n".join(csv_lines),
+            ]
+        )
+
+
+def run_figure9(
+    programs: tuple[str, ...] = SIMULATION_PROGRAMS,
+    cache_sizes: tuple[int, ...] = CACHE_SIZES,
+) -> Figure9Result:
+    """Regenerate the Figure 9 point cloud across all three memories."""
+    points = []
+    for program in programs:
+        study = ProgramStudy(program)
+        for memory in MARKERS:
+            for cache_bytes in cache_sizes:
+                report = study.metrics(
+                    SystemConfig(cache_bytes=cache_bytes, memory=memory)
+                )
+                points.append(
+                    ScatterPoint(
+                        program=program,
+                        memory=memory,
+                        cache_bytes=cache_bytes,
+                        miss_rate=report.miss_rate,
+                        relative_performance=report.relative_execution_time,
+                    )
+                )
+    return Figure9Result(points=tuple(points))

@@ -1,0 +1,81 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments figure5 tables9-10
+    ccrp-experiments figure9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Callable
+from pathlib import Path
+
+
+def _registry() -> dict[str, Callable[[], object]]:
+    from repro.experiments.ablations import run_ablations
+    from repro.experiments.bus_width import run_bus_width
+    from repro.experiments.cross_isa import run_cross_isa
+    from repro.experiments.dense_isa import run_dense_isa
+    from repro.experiments.extensions import run_extensions
+    from repro.experiments.figure5 import run_figure5
+    from repro.experiments.figure9 import run_figure9
+    from repro.experiments.tables1_8 import run_tables1_8
+    from repro.experiments.tables9_10 import run_tables9_10
+    from repro.experiments.tables11_13 import run_tables11_13
+
+    return {
+        "figure5": run_figure5,
+        "tables1-8": run_tables1_8,
+        "tables9-10": run_tables9_10,
+        "figure9": run_figure9,
+        "tables11-13": run_tables11_13,
+        "ablations": run_ablations,
+        "extensions": run_extensions,
+        "dense-isa": run_dense_isa,
+        "bus-width": run_bus_width,
+        "cross-isa": run_cross_isa,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the named experiments and print their rendered tables."""
+    registry = _registry()
+    parser = argparse.ArgumentParser(
+        prog="ccrp-experiments",
+        description="Regenerate the tables and figures of Wolfe & Chanin, MICRO 1992.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(registry) + ["all"],
+        help="which experiments to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        help="also write <experiment>.json and <experiment>.txt here",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(registry) if "all" in args.experiments else args.experiments
+    for name in names:
+        started = time.time()
+        result = registry[name]()
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+        if args.output_dir:
+            from repro.experiments.export import export_result
+
+            json_path, text_path = export_result(result, name, args.output_dir)
+            print(f"[wrote {json_path} and {text_path}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Tables 11-13 — effect of a data cache on CCRP benefit.
+
+At a 1 KB instruction cache, the paper sweeps data-cache miss rates of
+0 / 2 / 10 / 25 / 100 % for three programs (the analytic model of Section
+4.2.4).  "As the data cache miss rate increases, the effect of the CCRP
+on performance is reduced" — data stalls are identical on both machines,
+so they dilute the relative difference toward 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.datacache import DataCacheModel
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import percent, render_table
+from repro.experiments.tables1_8 import MEMORY_MODELS
+
+#: The paper's sweep points and programs.
+DATA_MISS_RATES = (0.0, 0.02, 0.10, 0.25, 1.0)
+DCACHE_PROGRAMS = ("nasa7", "espresso", "fpppp")
+ICACHE_BYTES = 1024
+
+
+@dataclass(frozen=True)
+class DataCacheRow:
+    program: str
+    memory: str
+    icache_bytes: int
+    dcache_miss_rate: float
+    relative_performance: float
+
+
+@dataclass(frozen=True)
+class DataCacheTable:
+    table_number: int
+    program: str
+    rows: tuple[DataCacheRow, ...]
+
+    def render(self) -> str:
+        return render_table(
+            f"Table {self.table_number}: {self.program} - Effect of Data Cache "
+            "Miss Rate (16 entry CLB)",
+            ("Memory", "Icache Size", "Dcache Miss Rate", "Relative Performance"),
+            [
+                (
+                    row.memory,
+                    f"{row.icache_bytes} byte",
+                    percent(row.dcache_miss_rate, 0),
+                    row.relative_performance,
+                )
+                for row in self.rows
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class Tables11To13Result:
+    tables: tuple[DataCacheTable, ...]
+
+    def render(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def table_for(self, program: str) -> DataCacheTable:
+        for table in self.tables:
+            if table.program == program:
+                return table
+        raise KeyError(program)
+
+
+def run_tables11_13(
+    programs: tuple[str, ...] = DCACHE_PROGRAMS,
+    icache_bytes: int = ICACHE_BYTES,
+) -> Tables11To13Result:
+    """Regenerate Tables 11-13."""
+    tables = []
+    for number, program in enumerate(programs, start=11):
+        study = ProgramStudy(program)
+        rows = []
+        for memory in MEMORY_MODELS:
+            for miss_rate in DATA_MISS_RATES:
+                report = study.metrics(
+                    SystemConfig(
+                        cache_bytes=icache_bytes,
+                        memory=memory,
+                        data_cache=DataCacheModel(miss_rate=miss_rate),
+                    )
+                )
+                rows.append(
+                    DataCacheRow(
+                        program=program,
+                        memory=memory,
+                        icache_bytes=icache_bytes,
+                        dcache_miss_rate=miss_rate,
+                        relative_performance=report.relative_execution_time,
+                    )
+                )
+        tables.append(
+            DataCacheTable(table_number=number, program=program, rows=tuple(rows))
+        )
+    return Tables11To13Result(tables=tuple(tables))

@@ -1,0 +1,111 @@
+"""Tables 1-8 — relative performance, miss rate, and memory traffic
+vs instruction-cache size.
+
+One table per simulation program (NASA7, Matrix25A, fpppp, espresso,
+NASA1, eightq, tomcatv, lloopO1), sweeping cache sizes 256 B - 4 KB under
+the EPROM and Burst-EPROM memory models, with a 16-entry CLB and a 100 %
+data-cache miss rate.  As in the paper, the Static-Column DRAM model
+"produces quite similar results to the Burst EPROM model", so DRAM rows
+are included only for the first program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import percent, render_table
+from repro.workloads.suite import SIMULATION_PROGRAMS
+
+#: Paper sweep parameters.
+CACHE_SIZES = (256, 512, 1024, 2048, 4096)
+MEMORY_MODELS = ("eprom", "burst_eprom")
+
+#: The one program that also gets DRAM rows (as in the paper).
+DRAM_PROGRAM = "nasa7"
+
+
+@dataclass(frozen=True)
+class PerformanceRow:
+    """One (memory model, cache size) row of a Tables 1-8 table."""
+
+    program: str
+    memory: str
+    cache_bytes: int
+    relative_performance: float
+    miss_rate: float
+    memory_traffic: float
+
+
+@dataclass(frozen=True)
+class ProgramTable:
+    """One full paper table."""
+
+    table_number: int
+    program: str
+    rows: tuple[PerformanceRow, ...]
+
+    def render(self) -> str:
+        return render_table(
+            f"Table {self.table_number}: {self.program} - 16 entry CLB, "
+            "100% Data Cache Miss Rate",
+            ("Memory", "Cache Size", "Relative Performance", "Cache Miss Rate", "Memory Traffic"),
+            [
+                (
+                    row.memory,
+                    f"{row.cache_bytes} byte",
+                    row.relative_performance,
+                    percent(row.miss_rate),
+                    percent(row.memory_traffic, 1),
+                )
+                for row in self.rows
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class Tables1To8Result:
+    tables: tuple[ProgramTable, ...]
+
+    def render(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def table_for(self, program: str) -> ProgramTable:
+        for table in self.tables:
+            if table.program == program:
+                return table
+        raise KeyError(program)
+
+
+def run_tables1_8(
+    programs: tuple[str, ...] = SIMULATION_PROGRAMS,
+    cache_sizes: tuple[int, ...] = CACHE_SIZES,
+) -> Tables1To8Result:
+    """Regenerate Tables 1-8 (optionally on a subset for quick runs)."""
+    tables = []
+    for number, program in enumerate(programs, start=1):
+        study = ProgramStudy(program)
+        memories = list(MEMORY_MODELS)
+        if program == DRAM_PROGRAM:
+            memories.append("sc_dram")
+        rows = []
+        for memory in memories:
+            for cache_bytes in cache_sizes:
+                report = study.metrics(
+                    SystemConfig(cache_bytes=cache_bytes, memory=memory)
+                )
+                rows.append(
+                    PerformanceRow(
+                        program=program,
+                        memory=memory,
+                        cache_bytes=cache_bytes,
+                        relative_performance=report.relative_execution_time,
+                        miss_rate=report.miss_rate,
+                        memory_traffic=report.memory_traffic_ratio,
+                    )
+                )
+        tables.append(
+            ProgramTable(table_number=number, program=program, rows=tuple(rows))
+        )
+    return Tables1To8Result(tables=tuple(tables))

@@ -1,0 +1,99 @@
+"""Tables 9-10 — CLB size effects.
+
+Relative performance of NASA7 and espresso with 4-, 8-, and 16-entry
+CLBs across cache sizes under both EPROM models.  "These programs show
+only minor variations with respect to CLB size over this range" — the
+reproduction asserts the same monotone, small effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.study import ProgramStudy
+from repro.experiments.formats import render_table
+from repro.experiments.tables1_8 import CACHE_SIZES, MEMORY_MODELS
+
+#: The paper's two CLB-study programs and entry counts.
+CLB_PROGRAMS = ("nasa7", "espresso")
+CLB_ENTRIES = (16, 8, 4)
+
+
+@dataclass(frozen=True)
+class CLBRow:
+    """Relative performance per CLB size for one (memory, cache) point."""
+
+    program: str
+    memory: str
+    cache_bytes: int
+    relative_performance: dict[int, float]
+
+
+@dataclass(frozen=True)
+class CLBTable:
+    table_number: int
+    program: str
+    rows: tuple[CLBRow, ...]
+
+    def render(self) -> str:
+        headers = ("Memory", "Cache Size") + tuple(
+            f"{entries} CLB Entries" for entries in CLB_ENTRIES
+        )
+        return render_table(
+            f"Table {self.table_number}: {self.program} - 100% Data Cache Miss Rate "
+            "(Relative Performance)",
+            headers,
+            [
+                (row.memory, f"{row.cache_bytes} byte")
+                + tuple(row.relative_performance[entries] for entries in CLB_ENTRIES)
+                for row in self.rows
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class Tables9To10Result:
+    tables: tuple[CLBTable, ...]
+
+    def render(self) -> str:
+        return "\n\n".join(table.render() for table in self.tables)
+
+    def table_for(self, program: str) -> CLBTable:
+        for table in self.tables:
+            if table.program == program:
+                return table
+        raise KeyError(program)
+
+
+def run_tables9_10(
+    programs: tuple[str, ...] = CLB_PROGRAMS,
+    cache_sizes: tuple[int, ...] = CACHE_SIZES,
+) -> Tables9To10Result:
+    """Regenerate Tables 9 and 10."""
+    tables = []
+    for number, program in enumerate(programs, start=9):
+        study = ProgramStudy(program)
+        rows = []
+        for memory in MEMORY_MODELS:
+            for cache_bytes in cache_sizes:
+                relative = {
+                    entries: study.metrics(
+                        SystemConfig(
+                            cache_bytes=cache_bytes,
+                            memory=memory,
+                            clb_entries=entries,
+                        )
+                    ).relative_execution_time
+                    for entries in CLB_ENTRIES
+                }
+                rows.append(
+                    CLBRow(
+                        program=program,
+                        memory=memory,
+                        cache_bytes=cache_bytes,
+                        relative_performance=relative,
+                    )
+                )
+        tables.append(CLBTable(table_number=number, program=program, rows=tuple(rows)))
+    return Tables9To10Result(tables=tuple(tables))

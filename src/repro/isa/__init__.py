@@ -1,0 +1,39 @@
+"""MIPS-I instruction-set substrate.
+
+The CCRP paper builds on the MIPS R2000 architecture [Kane92].  This package
+provides everything needed to create, encode, decode, assemble, and
+disassemble MIPS-I machine code from scratch:
+
+* :mod:`repro.isa.registers` — register numbering and ABI names.
+* :mod:`repro.isa.opcodes` — the instruction specification tables.
+* :mod:`repro.isa.instruction` — the :class:`Instruction` value object.
+* :mod:`repro.isa.encoding` / :mod:`repro.isa.decoding` — conversion
+  between :class:`Instruction` and 32-bit binary words.
+* :mod:`repro.isa.assembler` — a two-pass assembler with labels and data
+  directives.
+* :mod:`repro.isa.disassembler` — the inverse, for debugging and tests.
+"""
+
+from repro.isa.assembler import Assembler, AssembledProgram
+from repro.isa.decoding import decode
+from repro.isa.disassembler import disassemble, disassemble_word
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstructionFormat, InstructionSpec, SPECS
+from repro.isa.registers import Register, REGISTER_NAMES, register_number
+
+__all__ = [
+    "Assembler",
+    "AssembledProgram",
+    "Instruction",
+    "InstructionFormat",
+    "InstructionSpec",
+    "Register",
+    "REGISTER_NAMES",
+    "SPECS",
+    "decode",
+    "disassemble",
+    "disassemble_word",
+    "encode",
+    "register_number",
+]

@@ -1,0 +1,82 @@
+"""The :class:`Instruction` value object.
+
+An :class:`Instruction` pairs an :class:`~repro.isa.opcodes.InstructionSpec`
+with concrete field values.  It is the common currency between the
+assembler, the binary encoder/decoder, the disassembler, and the functional
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import InstructionSpec, SPECS_BY_MNEMONIC
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One concrete MIPS-I instruction.
+
+    Field interpretation depends on the format:
+
+    * ``rs``/``rt``/``rd``/``shamt`` are the usual 5-bit register and shift
+      fields; for COP1 arithmetic they hold ``fmt``/``ft``/``fs``/``fd``.
+    * ``imm`` is the 16-bit immediate, kept as a signed Python int in
+      ``[-32768, 65535]`` (the encoder masks it; signed vs. zero-extended
+      interpretation is the executing instruction's business).
+    * ``target`` is the 26-bit word-address field of J-format jumps.
+    """
+
+    spec: InstructionSpec
+    rs: int = 0
+    rt: int = 0
+    rd: int = 0
+    shamt: int = 0
+    imm: int = 0
+    target: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rs", "rt", "rd", "shamt"):
+            value = getattr(self, name)
+            if not 0 <= value < 32:
+                raise ValueError(f"{self.spec.mnemonic}: field {name}={value} not in [0, 32)")
+        if not -0x8000 <= self.imm <= 0xFFFF:
+            raise ValueError(f"{self.spec.mnemonic}: imm={self.imm} not a 16-bit value")
+        # Canonicalise to the unsigned 16-bit representation so that equal
+        # encodings compare equal regardless of how the immediate was given.
+        object.__setattr__(self, "imm", self.imm & 0xFFFF)
+        if not 0 <= self.target < (1 << 26):
+            raise ValueError(f"{self.spec.mnemonic}: target={self.target} not a 26-bit value")
+
+    @property
+    def mnemonic(self) -> str:
+        """Assembly mnemonic of this instruction."""
+        return self.spec.mnemonic
+
+    @property
+    def imm_signed(self) -> int:
+        """The immediate sign-extended from 16 bits."""
+        value = self.imm & 0xFFFF
+        return value - 0x10000 if value & 0x8000 else value
+
+    @property
+    def imm_unsigned(self) -> int:
+        """The immediate zero-extended from 16 bits."""
+        return self.imm & 0xFFFF
+
+    @classmethod
+    def make(cls, mnemonic: str, **fields: int) -> "Instruction":
+        """Build an instruction from its mnemonic and named fields.
+
+        Example::
+
+            Instruction.make("addu", rd=2, rs=4, rt=5)
+        """
+        spec = SPECS_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise KeyError(f"unknown mnemonic {mnemonic!r}")
+        return cls(spec, **fields)
+
+
+#: The canonical no-operation: ``sll $0, $0, 0`` encodes to 0x00000000.
+NOP = Instruction.make("sll", rd=0, rt=0, shamt=0)

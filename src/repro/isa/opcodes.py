@@ -1,0 +1,296 @@
+"""Instruction specification tables for the MIPS-I subset used by the CCRP.
+
+Every instruction the library can assemble, encode, decode, execute, or
+generate is described here by an :class:`InstructionSpec`.  The tables cover
+the MIPS-I integer instruction set plus the coprocessor-1 (floating point)
+operations that dominate the paper's FORTRAN workloads (NASA7, tomcatv,
+fpppp, …).
+
+Field layout reference (MIPS R2000, [Kane92]):
+
+* R-type:  ``op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)``
+* I-type:  ``op(6) rs(5) rt(5) imm(16)``
+* J-type:  ``op(6) target(26)``
+* COP1:    ``op(6) fmt(5) ft(5) fs(5) fd(5) funct(6)`` — encoded through the
+  R-type fields (``rs=fmt, rt=ft, rd=fs, shamt=fd``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InstructionFormat(enum.Enum):
+    """Binary layout family of an instruction."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - standard MIPS format name
+    J = "J"
+    REGIMM = "REGIMM"  # opcode 1; rt field selects the operation
+    COP1 = "COP1"  # opcode 0x11; rs field holds fmt or a selector
+
+
+class Category(enum.Enum):
+    """Semantic family, used by the stall model and the code generator."""
+
+    ALU = "alu"
+    SHIFT = "shift"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    JUMP_REG = "jump_reg"
+    MULTDIV = "multdiv"
+    HILO = "hilo"
+    FP_ARITH = "fp_arith"
+    FP_COMPARE = "fp_compare"
+    FP_CONVERT = "fp_convert"
+    FP_MOVE = "fp_move"
+    FP_LOAD = "fp_load"
+    FP_STORE = "fp_store"
+    FP_BRANCH = "fp_branch"
+    SYSTEM = "system"
+
+
+# COP1 ``fmt`` field values.
+FMT_SINGLE = 0x10
+FMT_DOUBLE = 0x11
+FMT_WORD = 0x14
+
+# COP1 ``rs``-field selectors for non-arithmetic operations.
+COP1_MFC1 = 0x00
+COP1_MTC1 = 0x04
+COP1_BC = 0x08
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one machine instruction.
+
+    Attributes:
+        mnemonic: Assembly mnemonic, e.g. ``"addu"`` or ``"add.d"``.
+        format: Binary layout family.
+        opcode: Value of the 6-bit major opcode field.
+        funct: Value of the 6-bit function field for R/COP1 formats, else
+            ``None``.
+        operands: Signature key describing assembler operand syntax; one of
+            the keys accepted by :mod:`repro.isa.assembler`.
+        category: Semantic family for stall modelling and code generation.
+        fmt: COP1 ``fmt`` field (``FMT_SINGLE``/``FMT_DOUBLE``/``FMT_WORD``)
+            for floating-point arithmetic, else ``None``.
+        selector: Fixed value of the ``rt`` field for REGIMM and COP1 branch
+            instructions, or of the ``rs`` field for MFC1/MTC1/BC groups.
+    """
+
+    mnemonic: str
+    format: InstructionFormat
+    opcode: int
+    funct: int | None
+    operands: str
+    category: Category
+    fmt: int | None = None
+    selector: int | None = None
+
+    @property
+    def is_fp(self) -> bool:
+        """True for any coprocessor-1 instruction (including lwc1/swc1)."""
+        return self.format is InstructionFormat.COP1 or self.mnemonic in (
+            "lwc1",
+            "swc1",
+        )
+
+    @property
+    def is_control_transfer(self) -> bool:
+        """True if the instruction may redirect the program counter."""
+        return self.category in (
+            Category.BRANCH,
+            Category.JUMP,
+            Category.CALL,
+            Category.JUMP_REG,
+            Category.FP_BRANCH,
+        )
+
+
+def _r(mnemonic: str, funct: int, operands: str, category: Category) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.R, 0, funct, operands, category)
+
+
+def _i(mnemonic: str, opcode: int, operands: str, category: Category) -> InstructionSpec:
+    return InstructionSpec(mnemonic, InstructionFormat.I, opcode, None, operands, category)
+
+
+def _fp3(mnemonic: str, funct: int, fmt: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic, InstructionFormat.COP1, 0x11, funct, "fd,fs,ft", Category.FP_ARITH, fmt=fmt
+    )
+
+
+def _fp2(mnemonic: str, funct: int, fmt: int, category: Category) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic, InstructionFormat.COP1, 0x11, funct, "fd,fs", category, fmt=fmt
+    )
+
+
+def _fpcmp(mnemonic: str, funct: int, fmt: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic, InstructionFormat.COP1, 0x11, funct, "fs,ft", Category.FP_COMPARE, fmt=fmt
+    )
+
+
+#: All instruction specifications, in mnemonic order within each group.
+SPECS: tuple[InstructionSpec, ...] = (
+    # --- R-type integer arithmetic / logic -------------------------------
+    _r("add", 0x20, "rd,rs,rt", Category.ALU),
+    _r("addu", 0x21, "rd,rs,rt", Category.ALU),
+    _r("sub", 0x22, "rd,rs,rt", Category.ALU),
+    _r("subu", 0x23, "rd,rs,rt", Category.ALU),
+    _r("and", 0x24, "rd,rs,rt", Category.ALU),
+    _r("or", 0x25, "rd,rs,rt", Category.ALU),
+    _r("xor", 0x26, "rd,rs,rt", Category.ALU),
+    _r("nor", 0x27, "rd,rs,rt", Category.ALU),
+    _r("slt", 0x2A, "rd,rs,rt", Category.ALU),
+    _r("sltu", 0x2B, "rd,rs,rt", Category.ALU),
+    # --- shifts -----------------------------------------------------------
+    _r("sll", 0x00, "rd,rt,sha", Category.SHIFT),
+    _r("srl", 0x02, "rd,rt,sha", Category.SHIFT),
+    _r("sra", 0x03, "rd,rt,sha", Category.SHIFT),
+    _r("sllv", 0x04, "rd,rt,rs", Category.SHIFT),
+    _r("srlv", 0x06, "rd,rt,rs", Category.SHIFT),
+    _r("srav", 0x07, "rd,rt,rs", Category.SHIFT),
+    # --- jumps through registers ------------------------------------------
+    _r("jr", 0x08, "rs", Category.JUMP_REG),
+    _r("jalr", 0x09, "rd,rs", Category.CALL),
+    # --- HI/LO ------------------------------------------------------------
+    _r("mfhi", 0x10, "rd", Category.HILO),
+    _r("mthi", 0x11, "rs", Category.HILO),
+    _r("mflo", 0x12, "rd", Category.HILO),
+    _r("mtlo", 0x13, "rs", Category.HILO),
+    _r("mult", 0x18, "rs,rt", Category.MULTDIV),
+    _r("multu", 0x19, "rs,rt", Category.MULTDIV),
+    _r("div", 0x1A, "rs,rt", Category.MULTDIV),
+    _r("divu", 0x1B, "rs,rt", Category.MULTDIV),
+    # --- system -----------------------------------------------------------
+    _r("syscall", 0x0C, "", Category.SYSTEM),
+    _r("break", 0x0D, "", Category.SYSTEM),
+    # --- I-type arithmetic / logic -----------------------------------------
+    _i("addi", 0x08, "rt,rs,imm", Category.ALU),
+    _i("addiu", 0x09, "rt,rs,imm", Category.ALU),
+    _i("slti", 0x0A, "rt,rs,imm", Category.ALU),
+    _i("sltiu", 0x0B, "rt,rs,imm", Category.ALU),
+    _i("andi", 0x0C, "rt,rs,uimm", Category.ALU),
+    _i("ori", 0x0D, "rt,rs,uimm", Category.ALU),
+    _i("xori", 0x0E, "rt,rs,uimm", Category.ALU),
+    _i("lui", 0x0F, "rt,uimm", Category.ALU),
+    # --- loads / stores ------------------------------------------------------
+    _i("lb", 0x20, "rt,off(rs)", Category.LOAD),
+    _i("lh", 0x21, "rt,off(rs)", Category.LOAD),
+    _i("lwl", 0x22, "rt,off(rs)", Category.LOAD),
+    _i("lw", 0x23, "rt,off(rs)", Category.LOAD),
+    _i("lbu", 0x24, "rt,off(rs)", Category.LOAD),
+    _i("lhu", 0x25, "rt,off(rs)", Category.LOAD),
+    _i("lwr", 0x26, "rt,off(rs)", Category.LOAD),
+    _i("sb", 0x28, "rt,off(rs)", Category.STORE),
+    _i("sh", 0x29, "rt,off(rs)", Category.STORE),
+    _i("swl", 0x2A, "rt,off(rs)", Category.STORE),
+    _i("sw", 0x2B, "rt,off(rs)", Category.STORE),
+    _i("swr", 0x2E, "rt,off(rs)", Category.STORE),
+    # --- branches -------------------------------------------------------------
+    _i("beq", 0x04, "rs,rt,rel", Category.BRANCH),
+    _i("bne", 0x05, "rs,rt,rel", Category.BRANCH),
+    _i("blez", 0x06, "rs,rel", Category.BRANCH),
+    _i("bgtz", 0x07, "rs,rel", Category.BRANCH),
+    InstructionSpec(
+        "bltz", InstructionFormat.REGIMM, 0x01, None, "rs,rel", Category.BRANCH, selector=0x00
+    ),
+    InstructionSpec(
+        "bgez", InstructionFormat.REGIMM, 0x01, None, "rs,rel", Category.BRANCH, selector=0x01
+    ),
+    InstructionSpec(
+        "bltzal", InstructionFormat.REGIMM, 0x01, None, "rs,rel", Category.CALL, selector=0x10
+    ),
+    InstructionSpec(
+        "bgezal", InstructionFormat.REGIMM, 0x01, None, "rs,rel", Category.CALL, selector=0x11
+    ),
+    # --- absolute jumps -----------------------------------------------------
+    InstructionSpec("j", InstructionFormat.J, 0x02, None, "target", Category.JUMP),
+    InstructionSpec("jal", InstructionFormat.J, 0x03, None, "target", Category.CALL),
+    # --- FP loads/stores (I-format with FP target register) -------------------
+    _i("lwc1", 0x31, "ft,off(rs)", Category.FP_LOAD),
+    _i("swc1", 0x39, "ft,off(rs)", Category.FP_STORE),
+    # --- FP register moves -----------------------------------------------------
+    InstructionSpec(
+        "mfc1", InstructionFormat.COP1, 0x11, 0x00, "rt,fs", Category.FP_MOVE, selector=COP1_MFC1
+    ),
+    InstructionSpec(
+        "mtc1", InstructionFormat.COP1, 0x11, 0x00, "rt,fs", Category.FP_MOVE, selector=COP1_MTC1
+    ),
+    # --- FP branches ------------------------------------------------------------
+    InstructionSpec(
+        "bc1f", InstructionFormat.COP1, 0x11, None, "rel", Category.FP_BRANCH, selector=COP1_BC
+    ),
+    InstructionSpec(
+        "bc1t", InstructionFormat.COP1, 0x11, None, "rel", Category.FP_BRANCH, selector=COP1_BC
+    ),
+    # --- FP arithmetic ------------------------------------------------------------
+    _fp3("add.s", 0x00, FMT_SINGLE),
+    _fp3("add.d", 0x00, FMT_DOUBLE),
+    _fp3("sub.s", 0x01, FMT_SINGLE),
+    _fp3("sub.d", 0x01, FMT_DOUBLE),
+    _fp3("mul.s", 0x02, FMT_SINGLE),
+    _fp3("mul.d", 0x02, FMT_DOUBLE),
+    _fp3("div.s", 0x03, FMT_SINGLE),
+    _fp3("div.d", 0x03, FMT_DOUBLE),
+    _fp2("abs.s", 0x05, FMT_SINGLE, Category.FP_ARITH),
+    _fp2("abs.d", 0x05, FMT_DOUBLE, Category.FP_ARITH),
+    _fp2("mov.s", 0x06, FMT_SINGLE, Category.FP_MOVE),
+    _fp2("mov.d", 0x06, FMT_DOUBLE, Category.FP_MOVE),
+    _fp2("neg.s", 0x07, FMT_SINGLE, Category.FP_ARITH),
+    _fp2("neg.d", 0x07, FMT_DOUBLE, Category.FP_ARITH),
+    # --- FP conversions ----------------------------------------------------------
+    _fp2("cvt.s.d", 0x20, FMT_DOUBLE, Category.FP_CONVERT),
+    _fp2("cvt.s.w", 0x20, FMT_WORD, Category.FP_CONVERT),
+    _fp2("cvt.d.s", 0x21, FMT_SINGLE, Category.FP_CONVERT),
+    _fp2("cvt.d.w", 0x21, FMT_WORD, Category.FP_CONVERT),
+    _fp2("cvt.w.s", 0x24, FMT_SINGLE, Category.FP_CONVERT),
+    _fp2("cvt.w.d", 0x24, FMT_DOUBLE, Category.FP_CONVERT),
+    # --- FP comparisons ------------------------------------------------------------
+    _fpcmp("c.eq.s", 0x32, FMT_SINGLE),
+    _fpcmp("c.eq.d", 0x32, FMT_DOUBLE),
+    _fpcmp("c.lt.s", 0x3C, FMT_SINGLE),
+    _fpcmp("c.lt.d", 0x3C, FMT_DOUBLE),
+    _fpcmp("c.le.s", 0x3E, FMT_SINGLE),
+    _fpcmp("c.le.d", 0x3E, FMT_DOUBLE),
+)
+
+#: Mnemonic -> spec lookup used by the assembler and generator.
+SPECS_BY_MNEMONIC: dict[str, InstructionSpec] = {spec.mnemonic: spec for spec in SPECS}
+
+# ---------------------------------------------------------------------------
+# Decode-side lookup tables.
+# ---------------------------------------------------------------------------
+
+#: R-type lookup: funct -> spec (opcode 0).
+R_BY_FUNCT: dict[int, InstructionSpec] = {
+    spec.funct: spec for spec in SPECS if spec.format is InstructionFormat.R
+}
+
+#: I/J-type lookup: opcode -> spec (excluding opcodes 0, 1, 0x11).
+I_J_BY_OPCODE: dict[int, InstructionSpec] = {
+    spec.opcode: spec
+    for spec in SPECS
+    if spec.format in (InstructionFormat.I, InstructionFormat.J)
+}
+
+#: REGIMM lookup: rt selector -> spec (opcode 1).
+REGIMM_BY_SELECTOR: dict[int, InstructionSpec] = {
+    spec.selector: spec for spec in SPECS if spec.format is InstructionFormat.REGIMM
+}
+
+#: COP1 arithmetic lookup: (fmt, funct) -> spec.
+COP1_BY_FMT_FUNCT: dict[tuple[int, int], InstructionSpec] = {
+    (spec.fmt, spec.funct): spec
+    for spec in SPECS
+    if spec.format is InstructionFormat.COP1 and spec.fmt is not None
+}

@@ -1,0 +1,124 @@
+"""MIPS register numbering and standard ABI names.
+
+The MIPS R2000 has 32 general-purpose integer registers and 32 coprocessor-1
+(floating point) registers.  This module provides the canonical ABI names
+and helpers to translate between names and register numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import AssemblerError
+
+
+class Register(enum.IntEnum):
+    """General-purpose registers with their MIPS o32 ABI names."""
+
+    ZERO = 0
+    AT = 1
+    V0 = 2
+    V1 = 3
+    A0 = 4
+    A1 = 5
+    A2 = 6
+    A3 = 7
+    T0 = 8
+    T1 = 9
+    T2 = 10
+    T3 = 11
+    T4 = 12
+    T5 = 13
+    T6 = 14
+    T7 = 15
+    S0 = 16
+    S1 = 17
+    S2 = 18
+    S3 = 19
+    S4 = 20
+    S5 = 21
+    S6 = 22
+    S7 = 23
+    T8 = 24
+    T9 = 25
+    K0 = 26
+    K1 = 27
+    GP = 28
+    SP = 29
+    FP = 30
+    RA = 31
+
+
+#: ABI name for each register number, index = register number.
+REGISTER_NAMES: tuple[str, ...] = tuple(
+    member.name.lower() for member in sorted(Register, key=int)
+)
+
+#: Registers a called procedure must preserve (o32 convention).
+CALLEE_SAVED: tuple[Register, ...] = (
+    Register.S0,
+    Register.S1,
+    Register.S2,
+    Register.S3,
+    Register.S4,
+    Register.S5,
+    Register.S6,
+    Register.S7,
+    Register.FP,
+)
+
+#: Registers a caller must assume are clobbered by a call.
+CALLER_SAVED: tuple[Register, ...] = (
+    Register.V0,
+    Register.V1,
+    Register.A0,
+    Register.A1,
+    Register.A2,
+    Register.A3,
+    Register.T0,
+    Register.T1,
+    Register.T2,
+    Register.T3,
+    Register.T4,
+    Register.T5,
+    Register.T6,
+    Register.T7,
+    Register.T8,
+    Register.T9,
+)
+
+_NAME_TO_NUMBER: dict[str, int] = {name: i for i, name in enumerate(REGISTER_NAMES)}
+# Numeric aliases ($0 .. $31) and a couple of conventional synonyms.
+_NAME_TO_NUMBER.update({str(i): i for i in range(32)})
+_NAME_TO_NUMBER["s8"] = int(Register.FP)
+
+
+def register_number(token: str) -> int:
+    """Translate a register token such as ``$t0``, ``t0``, or ``$8`` to 0-31.
+
+    Raises :class:`~repro.errors.AssemblerError` for unknown names.
+    """
+    name = token.strip().lower().lstrip("$")
+    try:
+        return _NAME_TO_NUMBER[name]
+    except KeyError:
+        raise AssemblerError(f"unknown register {token!r}") from None
+
+
+def fp_register_number(token: str) -> int:
+    """Translate an FP register token such as ``$f12`` or ``f0`` to 0-31."""
+    name = token.strip().lower().lstrip("$")
+    if name.startswith("f") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number < 32:
+            return number
+    raise AssemblerError(f"unknown FP register {token!r}")
+
+
+def register_name(number: int, *, fp: bool = False) -> str:
+    """Render register ``number`` in assembly syntax (``$t0`` / ``$f4``)."""
+    if not 0 <= number < 32:
+        raise ValueError(f"register number out of range: {number}")
+    if fp:
+        return f"$f{number}"
+    return f"${REGISTER_NAMES[number]}"

@@ -1,0 +1,14 @@
+"""Line Address Table (LAT) — the paper's compressed-block directory.
+
+After block-bounded compression the starting address of each compressed
+cache line is effectively random (paper Figure 2).  The LAT maps each
+original line address to its compressed block: one packed 8-byte entry per
+eight consecutive lines — a 3-byte base pointer plus eight 5-bit
+compressed-length records (Figure 6) — giving a storage overhead of
+8/256 = 3.125 % of the original program.
+"""
+
+from repro.lat.entry import LATEntry, UNCOMPRESSED_LENGTH_CODE
+from repro.lat.table import LineAddressTable
+
+__all__ = ["LATEntry", "LineAddressTable", "UNCOMPRESSED_LENGTH_CODE"]

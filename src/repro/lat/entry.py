@@ -1,0 +1,106 @@
+"""Packed LAT entries (paper Figure 6).
+
+Each entry is eight bytes covering eight consecutive 32-byte instruction
+lines (256 original bytes):
+
+* bytes 0-2: 24-bit base address of the group's first compressed block;
+* bytes 3-7: eight 5-bit length records, MSB first.
+
+A length record of 1-31 is the compressed block size in bytes; the special
+value 0 flags an *uncompressed* block of 32 bytes (the bypass path).  The
+CLB's adder tree reconstructs any block address by summing the preceding
+lengths onto the base — exactly what :meth:`LATEntry.block_address` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LATError
+
+#: Lines per LAT entry (the paper's "one entry for every 64 instructions").
+LINES_PER_ENTRY = 8
+
+#: Encoded length value meaning "uncompressed, 32 bytes".
+UNCOMPRESSED_LENGTH_CODE = 0
+
+#: Stored size of an uncompressed (bypass) block.
+UNCOMPRESSED_BYTES = 32
+
+ENTRY_BYTES = 8
+
+_BASE_LIMIT = 1 << 24
+
+
+@dataclass(frozen=True)
+class LATEntry:
+    """One packed LAT entry.
+
+    Attributes:
+        base: 24-bit physical address of the first block in the group.
+        lengths: Stored size in bytes of each of the eight blocks
+            (1-32; 32 means uncompressed).  Groups at the end of a program
+            may cover fewer real lines; unused slots should hold 32.
+    """
+
+    base: int
+    lengths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.base < _BASE_LIMIT:
+            raise LATError(f"base address {self.base:#x} does not fit in 24 bits")
+        if len(self.lengths) != LINES_PER_ENTRY:
+            raise LATError(f"entry needs {LINES_PER_ENTRY} lengths, got {len(self.lengths)}")
+        for length in self.lengths:
+            if not 1 <= length <= UNCOMPRESSED_BYTES:
+                raise LATError(f"block length {length} outside [1, {UNCOMPRESSED_BYTES}]")
+
+    # ------------------------------------------------------------------
+    # Address computation (the CLB adder tree)
+    # ------------------------------------------------------------------
+
+    def block_address(self, slot: int) -> int:
+        """Physical address of block ``slot`` (0-7) within this group."""
+        if not 0 <= slot < LINES_PER_ENTRY:
+            raise LATError(f"slot {slot} outside [0, {LINES_PER_ENTRY})")
+        return self.base + sum(self.lengths[:slot])
+
+    def block_size(self, slot: int) -> int:
+        """Stored size in bytes of block ``slot``."""
+        if not 0 <= slot < LINES_PER_ENTRY:
+            raise LATError(f"slot {slot} outside [0, {LINES_PER_ENTRY})")
+        return self.lengths[slot]
+
+    def is_compressed(self, slot: int) -> bool:
+        """True unless block ``slot`` took the bypass path."""
+        return self.block_size(slot) != UNCOMPRESSED_BYTES
+
+    @property
+    def group_bytes(self) -> int:
+        """Total stored bytes of the eight blocks."""
+        return sum(self.lengths)
+
+    # ------------------------------------------------------------------
+    # Binary form
+    # ------------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Pack into the 8-byte memory representation."""
+        packed = 0
+        for length in self.lengths:
+            code = UNCOMPRESSED_LENGTH_CODE if length == UNCOMPRESSED_BYTES else length
+            packed = (packed << 5) | code
+        return self.base.to_bytes(3, "big") + packed.to_bytes(5, "big")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "LATEntry":
+        """Unpack from the 8-byte memory representation."""
+        if len(raw) != ENTRY_BYTES:
+            raise LATError(f"LAT entry must be {ENTRY_BYTES} bytes, got {len(raw)}")
+        base = int.from_bytes(raw[:3], "big")
+        packed = int.from_bytes(raw[3:], "big")
+        lengths = []
+        for slot in range(LINES_PER_ENTRY):
+            code = (packed >> (5 * (LINES_PER_ENTRY - 1 - slot))) & 0x1F
+            lengths.append(UNCOMPRESSED_BYTES if code == UNCOMPRESSED_LENGTH_CODE else code)
+        return cls(base=base, lengths=tuple(lengths))

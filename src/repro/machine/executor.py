@@ -1,0 +1,760 @@
+"""Functional MIPS-I simulator with branch delay slots.
+
+The :class:`Machine` pre-compiles each static instruction into a Python
+closure and interprets the program directly, recording the dynamic
+instruction-address trace.  This is the reproduction's stand-in for running
+real DECstation binaries under ``pixie``.
+
+Architectural conventions:
+
+* 32 general-purpose registers (``$zero`` hard-wired), HI/LO, 32 FP
+  registers holding raw 32-bit patterns (doubles occupy even/odd pairs,
+  even register = most-significant word, matching big-endian memory).
+* Branch delay slots are executed exactly as on the R2000.
+* ``jal``/``jalr`` link to the instruction after the delay slot.
+* Arithmetic overflow wraps (the trapping variants are treated like their
+  unsigned twins; none of the workloads relies on overflow traps).
+* SPIM-style syscalls: ``$v0`` = 1 print_int, 4 print_string,
+  11 print_char, 10 exit.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.isa.assembler import AssembledProgram
+from repro.isa.instruction import Instruction
+from repro.machine.memory import Memory
+from repro.machine.stalls import R2000_STALLS, StallModel
+from repro.machine.tracing import ExecutionTrace
+
+#: Default cap on executed instructions (the paper's traces are 10K-1M).
+DEFAULT_MAX_INSTRUCTIONS = 4_000_000
+
+#: Initial stack pointer: top of the 24-bit space, word aligned.
+STACK_TOP = 0xFFFFF0
+
+_WORD_MASK = 0xFFFFFFFF
+_MEM_MASK = (1 << 24) - 1
+
+
+class _Halt(Exception):
+    """Raised internally by the exit syscall to stop the interpreter."""
+
+    def __init__(self, exit_code: int) -> None:
+        super().__init__(exit_code)
+        self.exit_code = exit_code
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything one execution produced.
+
+    Attributes:
+        trace: The dynamic instruction-address trace.
+        instructions_executed: Dynamic instruction count.
+        data_accesses: Number of data loads + stores performed.
+        stall_cycles: Pixie-style pipeline-stall estimate.
+        output: Text emitted through print syscalls.
+        exit_code: Value of ``$a0`` at the exit syscall (0 if it ran off
+            the instruction limit with ``stop_at_limit=True``).
+        registers: Final general-purpose register values.
+    """
+
+    trace: ExecutionTrace
+    instructions_executed: int
+    data_accesses: int
+    stall_cycles: int
+    output: str
+    exit_code: int
+    registers: tuple[int, ...]
+
+    @property
+    def base_cycles(self) -> int:
+        """Issue cycles + stalls: execution time before memory penalties."""
+        return self.instructions_executed + self.stall_cycles
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _float_bits(value: float) -> int:
+    return struct.unpack(">I", struct.pack(">f", value))[0]
+
+
+def _bits_float(bits: int) -> float:
+    return struct.unpack(">f", struct.pack(">I", bits & _WORD_MASK))[0]
+
+
+def _double_bits(value: float) -> int:
+    return struct.unpack(">Q", struct.pack(">d", value))[0]
+
+
+def _bits_double(bits: int) -> float:
+    return struct.unpack(">d", struct.pack(">Q", bits & 0xFFFF_FFFF_FFFF_FFFF))[0]
+
+
+class Machine:
+    """A loaded program plus architectural state, ready to run.
+
+    Example::
+
+        machine = Machine(program)
+        result = machine.run()
+        print(result.instructions_executed, result.output)
+    """
+
+    def __init__(
+        self,
+        program: AssembledProgram,
+        stall_model: StallModel = R2000_STALLS,
+    ) -> None:
+        self.program = program
+        self.stall_model = stall_model
+        self.memory = Memory()
+        self.memory.load_segment(program.text_base, program.text)
+        if program.data:
+            self.memory.load_segment(program.data_base, program.data)
+        self.regs: list[int] = [0] * 32
+        self.regs[29] = STACK_TOP  # $sp
+        self.regs[28] = (program.data_base + 0x8000) & _MEM_MASK  # $gp
+        self.fpr: list[int] = [0] * 32
+        self.hilo: list[int] = [0, 0]
+        self.fcc: list[int] = [0]  # FP condition flag
+        self._output: list[str] = []
+        self._stats: list[int] = [0]  # [data_access_count]
+        self._ops = [
+            self._compile(instruction, program.text_base + 4 * index)
+            for index, instruction in enumerate(program.instructions)
+        ]
+
+    # ------------------------------------------------------------------
+    # Interpreter loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        stop_at_limit: bool = False,
+    ) -> ExecutionResult:
+        """Execute from the program entry until the exit syscall.
+
+        Args:
+            max_instructions: Upper bound on dynamic instructions.
+            stop_at_limit: If true, hitting the bound truncates the trace
+                instead of raising :class:`~repro.errors.ExecutionError`.
+        """
+        program = self.program
+        ops = self._ops
+        base = program.text_base
+        top = base + len(ops) * 4
+        trace: list[int] = []
+        append = trace.append
+        pc = program.entry
+        npc = pc + 4
+        executed = 0
+        exit_code = 0
+        try:
+            while executed < max_instructions:
+                if not base <= pc < top:
+                    raise ExecutionError(f"PC {pc:#x} outside text segment")
+                append(pc)
+                target = ops[(pc - base) >> 2]()
+                executed += 1
+                pc = npc
+                npc = pc + 4 if target is None else target
+            if not stop_at_limit:
+                raise ExecutionError(
+                    f"instruction limit {max_instructions} reached without exit"
+                )
+        except _Halt as halt:
+            exit_code = halt.exit_code
+            executed = len(trace)  # the exiting syscall itself executed
+
+        addresses = np.array(trace, dtype=np.uint32)
+        execution_trace = ExecutionTrace(
+            addresses=addresses,
+            text_base=program.text_base,
+            text_size=len(program.text),
+        )
+        stall_cycles = self.stall_model.stall_cycles(
+            execution_trace.instruction_indices, program.instructions
+        )
+        return ExecutionResult(
+            trace=execution_trace,
+            instructions_executed=executed,
+            data_accesses=self._stats[0],
+            stall_cycles=stall_cycles,
+            output="".join(self._output),
+            exit_code=exit_code,
+            registers=tuple(self.regs),
+        )
+
+    # ------------------------------------------------------------------
+    # Instruction compilation
+    # ------------------------------------------------------------------
+
+    def _compile(self, instruction: Instruction, pc: int):
+        """Build the closure executing ``instruction`` located at ``pc``.
+
+        The closure returns the branch/jump target when control transfers,
+        otherwise ``None``.
+        """
+        m = instruction.mnemonic
+        regs = self.regs
+        fpr = self.fpr
+        hilo = self.hilo
+        fcc = self.fcc
+        data = self.memory.data
+        stats = self._stats
+        rs, rt, rd = instruction.rs, instruction.rt, instruction.rd
+        shamt = instruction.shamt
+        imm = instruction.imm_signed
+        uimm = instruction.imm_unsigned
+
+        # --- integer R-type --------------------------------------------
+        if m in ("add", "addu"):
+            def op():
+                if rd:
+                    regs[rd] = (regs[rs] + regs[rt]) & _WORD_MASK
+            return op
+        if m in ("sub", "subu"):
+            def op():
+                if rd:
+                    regs[rd] = (regs[rs] - regs[rt]) & _WORD_MASK
+            return op
+        if m == "and":
+            def op():
+                if rd:
+                    regs[rd] = regs[rs] & regs[rt]
+            return op
+        if m == "or":
+            def op():
+                if rd:
+                    regs[rd] = regs[rs] | regs[rt]
+            return op
+        if m == "xor":
+            def op():
+                if rd:
+                    regs[rd] = regs[rs] ^ regs[rt]
+            return op
+        if m == "nor":
+            def op():
+                if rd:
+                    regs[rd] = ~(regs[rs] | regs[rt]) & _WORD_MASK
+            return op
+        if m == "slt":
+            def op():
+                if rd:
+                    regs[rd] = 1 if _signed(regs[rs]) < _signed(regs[rt]) else 0
+            return op
+        if m == "sltu":
+            def op():
+                if rd:
+                    regs[rd] = 1 if regs[rs] < regs[rt] else 0
+            return op
+        if m == "sll":
+            def op():
+                if rd:
+                    regs[rd] = (regs[rt] << shamt) & _WORD_MASK
+            return op
+        if m == "srl":
+            def op():
+                if rd:
+                    regs[rd] = regs[rt] >> shamt
+            return op
+        if m == "sra":
+            def op():
+                if rd:
+                    regs[rd] = (_signed(regs[rt]) >> shamt) & _WORD_MASK
+            return op
+        if m == "sllv":
+            def op():
+                if rd:
+                    regs[rd] = (regs[rt] << (regs[rs] & 31)) & _WORD_MASK
+            return op
+        if m == "srlv":
+            def op():
+                if rd:
+                    regs[rd] = regs[rt] >> (regs[rs] & 31)
+            return op
+        if m == "srav":
+            def op():
+                if rd:
+                    regs[rd] = (_signed(regs[rt]) >> (regs[rs] & 31)) & _WORD_MASK
+            return op
+
+        # --- HI/LO and multiply/divide ----------------------------------
+        if m == "mult":
+            def op():
+                product = _signed(regs[rs]) * _signed(regs[rt])
+                hilo[0] = (product >> 32) & _WORD_MASK
+                hilo[1] = product & _WORD_MASK
+            return op
+        if m == "multu":
+            def op():
+                product = regs[rs] * regs[rt]
+                hilo[0] = (product >> 32) & _WORD_MASK
+                hilo[1] = product & _WORD_MASK
+            return op
+        if m == "div":
+            def op():
+                dividend, divisor = _signed(regs[rs]), _signed(regs[rt])
+                if divisor == 0:
+                    hilo[0] = hilo[1] = 0  # UNPREDICTABLE on hardware
+                else:
+                    quotient = int(dividend / divisor)  # truncate toward zero
+                    hilo[1] = quotient & _WORD_MASK
+                    hilo[0] = (dividend - quotient * divisor) & _WORD_MASK
+            return op
+        if m == "divu":
+            def op():
+                if regs[rt] == 0:
+                    hilo[0] = hilo[1] = 0
+                else:
+                    hilo[1] = regs[rs] // regs[rt]
+                    hilo[0] = regs[rs] % regs[rt]
+            return op
+        if m == "mfhi":
+            def op():
+                if rd:
+                    regs[rd] = hilo[0]
+            return op
+        if m == "mflo":
+            def op():
+                if rd:
+                    regs[rd] = hilo[1]
+            return op
+        if m == "mthi":
+            def op():
+                hilo[0] = regs[rs]
+            return op
+        if m == "mtlo":
+            def op():
+                hilo[1] = regs[rs]
+            return op
+
+        # --- I-type ALU ---------------------------------------------------
+        if m in ("addi", "addiu"):
+            def op():
+                if rt:
+                    regs[rt] = (regs[rs] + imm) & _WORD_MASK
+            return op
+        if m == "slti":
+            def op():
+                if rt:
+                    regs[rt] = 1 if _signed(regs[rs]) < imm else 0
+            return op
+        if m == "sltiu":
+            def op():
+                if rt:
+                    regs[rt] = 1 if regs[rs] < (imm & _WORD_MASK) else 0
+            return op
+        if m == "andi":
+            def op():
+                if rt:
+                    regs[rt] = regs[rs] & uimm
+            return op
+        if m == "ori":
+            def op():
+                if rt:
+                    regs[rt] = regs[rs] | uimm
+            return op
+        if m == "xori":
+            def op():
+                if rt:
+                    regs[rt] = regs[rs] ^ uimm
+            return op
+        if m == "lui":
+            value = (uimm << 16) & _WORD_MASK
+            def op():
+                if rt:
+                    regs[rt] = value
+            return op
+
+        # --- loads / stores -------------------------------------------------
+        if m == "lw":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 3:
+                    raise ExecutionError(f"unaligned lw at {address:#x} (pc {pc:#x})")
+                if rt:
+                    regs[rt] = (
+                        (data[address] << 24)
+                        | (data[address + 1] << 16)
+                        | (data[address + 2] << 8)
+                        | data[address + 3]
+                    )
+            return op
+        if m == "sw":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 3:
+                    raise ExecutionError(f"unaligned sw at {address:#x} (pc {pc:#x})")
+                value = regs[rt]
+                data[address] = (value >> 24) & 0xFF
+                data[address + 1] = (value >> 16) & 0xFF
+                data[address + 2] = (value >> 8) & 0xFF
+                data[address + 3] = value & 0xFF
+            return op
+        if m == "lb":
+            def op():
+                stats[0] += 1
+                value = data[(regs[rs] + imm) & _MEM_MASK]
+                if rt:
+                    regs[rt] = value - 256 if value & 0x80 else value
+                    regs[rt] &= _WORD_MASK
+            return op
+        if m == "lbu":
+            def op():
+                stats[0] += 1
+                if rt:
+                    regs[rt] = data[(regs[rs] + imm) & _MEM_MASK]
+            return op
+        if m == "sb":
+            def op():
+                stats[0] += 1
+                data[(regs[rs] + imm) & _MEM_MASK] = regs[rt] & 0xFF
+            return op
+        if m == "lh":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 1:
+                    raise ExecutionError(f"unaligned lh at {address:#x} (pc {pc:#x})")
+                value = (data[address] << 8) | data[address + 1]
+                if rt:
+                    regs[rt] = (value - 0x10000 if value & 0x8000 else value) & _WORD_MASK
+            return op
+        if m == "lhu":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 1:
+                    raise ExecutionError(f"unaligned lhu at {address:#x} (pc {pc:#x})")
+                if rt:
+                    regs[rt] = (data[address] << 8) | data[address + 1]
+            return op
+        if m == "sh":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 1:
+                    raise ExecutionError(f"unaligned sh at {address:#x} (pc {pc:#x})")
+                data[address] = (regs[rt] >> 8) & 0xFF
+                data[address + 1] = regs[rt] & 0xFF
+            return op
+
+        # --- unaligned-access pairs (big-endian LWL/LWR/SWL/SWR) --------
+        def _read_aligned(address: int) -> int:
+            base = address & ~3
+            return (
+                (data[base] << 24)
+                | (data[base + 1] << 16)
+                | (data[base + 2] << 8)
+                | data[base + 3]
+            )
+
+        def _write_aligned(address: int, value: int) -> None:
+            base = address & ~3
+            data[base] = (value >> 24) & 0xFF
+            data[base + 1] = (value >> 16) & 0xFF
+            data[base + 2] = (value >> 8) & 0xFF
+            data[base + 3] = value & 0xFF
+
+        if m == "lwl":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                offset = address & 3
+                word = _read_aligned(address)
+                if rt:
+                    keep = (1 << (8 * offset)) - 1
+                    regs[rt] = ((word << (8 * offset)) & _WORD_MASK) | (regs[rt] & keep)
+            return op
+        if m == "lwr":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                offset = address & 3
+                word = _read_aligned(address)
+                if rt:
+                    mask = (1 << (8 * (offset + 1))) - 1
+                    regs[rt] = (regs[rt] & ~mask & _WORD_MASK) | (
+                        (word >> (8 * (3 - offset))) & mask
+                    )
+            return op
+        if m == "swl":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                offset = address & 3
+                word = _read_aligned(address)
+                low_mask = (1 << (8 * (4 - offset))) - 1
+                merged = (word & ~low_mask & _WORD_MASK) | (regs[rt] >> (8 * offset))
+                _write_aligned(address, merged)
+            return op
+        if m == "swr":
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                offset = address & 3
+                word = _read_aligned(address)
+                keep = (1 << (8 * (3 - offset))) - 1
+                merged = (word & keep) | (
+                    (regs[rt] << (8 * (3 - offset))) & _WORD_MASK & ~keep
+                )
+                _write_aligned(address, merged)
+            return op
+
+        # --- branches ---------------------------------------------------------
+        branch_target = (pc + 4 + (imm << 2)) & _MEM_MASK
+        if m == "beq":
+            def op():
+                return branch_target if regs[rs] == regs[rt] else None
+            return op
+        if m == "bne":
+            def op():
+                return branch_target if regs[rs] != regs[rt] else None
+            return op
+        if m == "blez":
+            def op():
+                return branch_target if _signed(regs[rs]) <= 0 else None
+            return op
+        if m == "bgtz":
+            def op():
+                return branch_target if _signed(regs[rs]) > 0 else None
+            return op
+        if m == "bltz":
+            def op():
+                return branch_target if regs[rs] & 0x8000_0000 else None
+            return op
+        if m == "bgez":
+            def op():
+                return None if regs[rs] & 0x8000_0000 else branch_target
+            return op
+        if m in ("bltzal", "bgezal"):
+            link = (pc + 8) & _MEM_MASK
+            negative = m == "bltzal"
+            def op():
+                regs[31] = link
+                taken = bool(regs[rs] & 0x8000_0000) == negative
+                return branch_target if taken else None
+            return op
+
+        # --- jumps ---------------------------------------------------------------
+        if m == "j":
+            jump_target = ((pc + 4) & 0xF000_0000) | (instruction.target << 2)
+            def op():
+                return jump_target
+            return op
+        if m == "jal":
+            jump_target = ((pc + 4) & 0xF000_0000) | (instruction.target << 2)
+            link = (pc + 8) & _MEM_MASK
+            def op():
+                regs[31] = link
+                return jump_target
+            return op
+        if m == "jr":
+            def op():
+                return regs[rs]
+            return op
+        if m == "jalr":
+            link = (pc + 8) & _MEM_MASK
+            def op():
+                target = regs[rs]
+                if rd:
+                    regs[rd] = link
+                return target
+            return op
+
+        # --- system ---------------------------------------------------------------
+        if m == "syscall":
+            output = self._output
+            memory = self.memory
+            def op():
+                service = regs[2]
+                if service == 10:
+                    raise _Halt(regs[4])
+                if service == 1:
+                    output.append(str(_signed(regs[4])))
+                elif service == 4:
+                    output.append(memory.read_string(regs[4]))
+                elif service == 11:
+                    output.append(chr(regs[4] & 0xFF))
+                else:
+                    raise ExecutionError(f"unsupported syscall {service} at {pc:#x}")
+            return op
+        if m == "break":
+            def op():
+                raise ExecutionError(f"break executed at {pc:#x}")
+            return op
+
+        # --- floating point ----------------------------------------------------------
+        if m in ("lwc1", "swc1"):
+            load = m == "lwc1"
+            def op():
+                stats[0] += 1
+                address = (regs[rs] + imm) & _MEM_MASK
+                if address & 3:
+                    raise ExecutionError(f"unaligned {m} at {address:#x} (pc {pc:#x})")
+                if load:
+                    fpr[rt] = (
+                        (data[address] << 24)
+                        | (data[address + 1] << 16)
+                        | (data[address + 2] << 8)
+                        | data[address + 3]
+                    )
+                else:
+                    value = fpr[rt]
+                    data[address] = (value >> 24) & 0xFF
+                    data[address + 1] = (value >> 16) & 0xFF
+                    data[address + 2] = (value >> 8) & 0xFF
+                    data[address + 3] = value & 0xFF
+            return op
+        if m == "mfc1":
+            def op():
+                if rt:
+                    regs[rt] = fpr[rd]
+            return op
+        if m == "mtc1":
+            def op():
+                fpr[rd] = regs[rt]
+            return op
+        if m in ("bc1t", "bc1f"):
+            expect = 1 if m == "bc1t" else 0
+            def op():
+                return branch_target if fcc[0] == expect else None
+            return op
+
+        if m.startswith(("add.", "sub.", "mul.", "div.", "abs.", "neg.", "mov.")):
+            return self._compile_fp_arith(instruction)
+        if m.startswith("cvt."):
+            return self._compile_fp_convert(instruction)
+        if m.startswith("c."):
+            return self._compile_fp_compare(instruction)
+
+        raise ExecutionError(f"no executor for mnemonic {m!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Floating-point helpers
+    # ------------------------------------------------------------------
+
+    def _read_double(self, index: int) -> float:
+        return _bits_double((self.fpr[index] << 32) | self.fpr[index + 1])
+
+    def _write_double(self, index: int, value: float) -> None:
+        bits = _double_bits(value)
+        self.fpr[index] = (bits >> 32) & _WORD_MASK
+        self.fpr[index + 1] = bits & _WORD_MASK
+
+    def _compile_fp_arith(self, instruction: Instruction):
+        m = instruction.mnemonic
+        fpr = self.fpr
+        fd, fs, ft = instruction.shamt, instruction.rd, instruction.rt
+        double = m.endswith(".d")
+        base = m.split(".")[0]
+        read_d, write_d = self._read_double, self._write_double
+
+        if base == "mov":
+            if double:
+                def op():
+                    fpr[fd] = fpr[fs]
+                    fpr[fd + 1] = fpr[fs + 1]
+            else:
+                def op():
+                    fpr[fd] = fpr[fs]
+            return op
+        if base in ("abs", "neg"):
+            flip = base == "neg"
+            def op():
+                high = fpr[fs]
+                if flip:
+                    high ^= 0x8000_0000
+                else:
+                    high &= 0x7FFF_FFFF
+                fpr[fd] = high
+                if double:
+                    fpr[fd + 1] = fpr[fs + 1]
+            return op
+
+        if double:
+            def op():
+                a, b = read_d(fs), read_d(ft)
+                if base == "add":
+                    result = a + b
+                elif base == "sub":
+                    result = a - b
+                elif base == "mul":
+                    result = a * b
+                else:
+                    result = a / b if b != 0.0 else float("inf") * (1 if a >= 0 else -1)
+                write_d(fd, result)
+            return op
+
+        def op():
+            a, b = _bits_float(fpr[fs]), _bits_float(fpr[ft])
+            if base == "add":
+                result = a + b
+            elif base == "sub":
+                result = a - b
+            elif base == "mul":
+                result = a * b
+            else:
+                result = a / b if b != 0.0 else float("inf") * (1 if a >= 0 else -1)
+            fpr[fd] = _float_bits(result)
+        return op
+
+    def _compile_fp_convert(self, instruction: Instruction):
+        m = instruction.mnemonic
+        fpr = self.fpr
+        fd, fs = instruction.shamt, instruction.rd
+        read_d, write_d = self._read_double, self._write_double
+        _, to_kind, from_kind = m.split(".")
+
+        def read_source() -> float | int:
+            if from_kind == "d":
+                return read_d(fs)
+            if from_kind == "s":
+                return _bits_float(fpr[fs])
+            return _signed(fpr[fs])
+
+        def op():
+            value = read_source()
+            if to_kind == "d":
+                write_d(fd, float(value))
+            elif to_kind == "s":
+                fpr[fd] = _float_bits(float(value))
+            else:  # to word: truncate toward zero, C-style
+                fpr[fd] = int(value) & _WORD_MASK
+        return op
+
+    def _compile_fp_compare(self, instruction: Instruction):
+        m = instruction.mnemonic
+        fpr = self.fpr
+        fcc = self.fcc
+        fs, ft = instruction.rd, instruction.rt
+        double = m.endswith(".d")
+        condition = m.split(".")[1]
+        read_d = self._read_double
+
+        def op():
+            if double:
+                a, b = read_d(fs), read_d(ft)
+            else:
+                a, b = _bits_float(fpr[fs]), _bits_float(fpr[ft])
+            if condition == "eq":
+                fcc[0] = 1 if a == b else 0
+            elif condition == "lt":
+                fcc[0] = 1 if a < b else 0
+            else:
+                fcc[0] = 1 if a <= b else 0
+        return op

@@ -1,0 +1,173 @@
+"""Pixie-style execution profiling.
+
+The paper used "the diagnostic profiling tool pixie … to document the
+detailed behavior of each program".  This module produces the same kind
+of report from an :class:`~repro.machine.tracing.ExecutionTrace`: dynamic
+instruction mix, per-procedure cycle attribution, hottest static
+instructions, and call counts — useful both for sanity-checking synthetic
+workloads and for users profiling their own programs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.assembler import AssembledProgram
+from repro.isa.opcodes import Category
+from repro.machine.executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class ProcedureProfile:
+    """Dynamic totals attributed to one label-delimited procedure."""
+
+    name: str
+    address: int
+    static_words: int
+    executed_instructions: int
+    calls: int
+
+    @property
+    def instructions_per_call(self) -> float:
+        return self.executed_instructions / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Everything the profiler extracted from one execution.
+
+    Attributes:
+        instructions_executed: Dynamic instruction count.
+        category_mix: Dynamic fraction per instruction category.
+        procedures: Per-procedure attribution, hottest first.
+        hot_instructions: (address, mnemonic, count) for the top static
+            instructions by execution count.
+    """
+
+    instructions_executed: int
+    category_mix: dict[Category, float]
+    procedures: tuple[ProcedureProfile, ...]
+    hot_instructions: tuple[tuple[int, str, int], ...]
+
+    def mix_fraction(self, category: Category) -> float:
+        return self.category_mix.get(category, 0.0)
+
+    @property
+    def load_store_fraction(self) -> float:
+        """Fraction of dynamic instructions touching data memory."""
+        return sum(
+            fraction
+            for category, fraction in self.category_mix.items()
+            if category
+            in (Category.LOAD, Category.STORE, Category.FP_LOAD, Category.FP_STORE)
+        )
+
+    def render(self, top: int = 10) -> str:
+        lines = [f"dynamic instructions: {self.instructions_executed:,}", ""]
+        lines.append("instruction mix:")
+        for category, fraction in sorted(
+            self.category_mix.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {category.value:12s} {fraction:7.2%}")
+        lines.append("")
+        lines.append(f"{'procedure':24s} {'instrs':>10s} {'calls':>8s} {'per call':>9s}")
+        for procedure in self.procedures[:top]:
+            lines.append(
+                f"{procedure.name:24s} {procedure.executed_instructions:10,d} "
+                f"{procedure.calls:8,d} {procedure.instructions_per_call:9.1f}"
+            )
+        lines.append("")
+        lines.append("hottest instructions:")
+        for address, mnemonic, count in self.hot_instructions[:top]:
+            lines.append(f"  {address:#08x}  {mnemonic:10s} {count:10,d}")
+        return "\n".join(lines)
+
+
+def profile(result: ExecutionResult, program: AssembledProgram) -> ProfileReport:
+    """Build a :class:`ProfileReport` for one execution of ``program``."""
+    trace = result.trace
+    counts = trace.execution_counts()
+    instructions = program.instructions
+    total = int(counts.sum())
+
+    # --- dynamic category mix -----------------------------------------
+    category_counts: Counter[Category] = Counter()
+    for index, count in enumerate(counts):
+        if count:
+            category_counts[instructions[index].spec.category] += int(count)
+    category_mix = {
+        category: count / total for category, count in category_counts.items()
+    } if total else {}
+
+    # --- per-procedure attribution --------------------------------------
+    text_base = program.text_base
+    text_end = text_base + len(program.text)
+    code_labels = sorted(
+        (address, name)
+        for name, address in program.labels.items()
+        if text_base <= address < text_end
+    )
+    # Procedures = call targets plus the entry point; other labels are
+    # local branch targets inside a procedure.
+    call_targets = {
+        ((instructions[i].target << 2) & 0xFFFFFFFF)
+        for i in range(len(instructions))
+        if instructions[i].mnemonic == "jal"
+    }
+    call_targets.add(program.entry)
+    boundaries = [
+        (address, name) for address, name in code_labels if address in call_targets
+    ]
+    if not boundaries or boundaries[0][0] != text_base:
+        boundaries.insert(0, (text_base, "<start>"))
+
+    call_counts: Counter[int] = Counter()
+    for index, count in enumerate(counts):
+        if count and instructions[index].mnemonic == "jal":
+            call_counts[(instructions[index].target << 2) & 0xFFFFFFFF] += int(count)
+    call_counts[program.entry] += 1
+
+    procedures = []
+    for position, (address, name) in enumerate(boundaries):
+        end = (
+            boundaries[position + 1][0]
+            if position + 1 < len(boundaries)
+            else text_end
+        )
+        first = (address - text_base) // 4
+        last = (end - text_base) // 4
+        executed = int(counts[first:last].sum())
+        if executed == 0:
+            continue
+        procedures.append(
+            ProcedureProfile(
+                name=name,
+                address=address,
+                static_words=last - first,
+                executed_instructions=executed,
+                calls=int(call_counts.get(address, 0)),
+            )
+        )
+    procedures.sort(key=lambda procedure: -procedure.executed_instructions)
+
+    # --- hottest static instructions ------------------------------------
+    order = np.argsort(counts)[::-1]
+    hot = tuple(
+        (
+            text_base + 4 * int(index),
+            instructions[int(index)].mnemonic,
+            int(counts[int(index)]),
+        )
+        for index in order[:25]
+        if counts[int(index)] > 0
+    )
+
+    return ProfileReport(
+        instructions_executed=total,
+        category_mix=category_mix,
+        procedures=tuple(procedures),
+        hot_instructions=hot,
+    )

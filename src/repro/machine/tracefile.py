@@ -1,0 +1,52 @@
+"""Trace persistence: save and reload execution traces.
+
+The paper's flow separates trace *generation* (pixie, run once) from
+trace-driven *simulation* (run many times over the parameter space).
+These helpers give the library the same separation across processes: an
+``.npz`` container holds the address stream plus the metadata the
+simulators need, so expensive executions can be archived and replayed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.machine.tracing import ExecutionTrace
+
+#: Container format version, checked on load.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: ExecutionTrace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (.npz is appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        meta=np.array([FORMAT_VERSION, trace.text_base, trace.text_size], dtype=np.int64),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> ExecutionTrace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            meta = archive["meta"]
+            addresses = archive["addresses"]
+    except (OSError, KeyError, ValueError) as error:
+        raise ReproError(f"not a trace file: {path} ({error})") from None
+    version, text_base, text_size = (int(value) for value in meta)
+    if version != FORMAT_VERSION:
+        raise ReproError(f"unsupported trace format version {version}")
+    return ExecutionTrace(
+        addresses=addresses.astype(np.uint32),
+        text_base=text_base,
+        text_size=text_size,
+    )

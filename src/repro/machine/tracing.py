@@ -1,0 +1,62 @@
+"""Dynamic instruction-address traces.
+
+An :class:`ExecutionTrace` is the central artifact the cache simulators
+consume — the equivalent of the pixie address traces the paper's
+experiments were driven by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """Dynamic instruction addresses from one program execution.
+
+    Attributes:
+        addresses: Instruction byte addresses in execution order
+            (``uint32``), one entry per executed instruction.
+        text_base: Load address of the program text segment.
+        text_size: Text-segment size in bytes.
+    """
+
+    addresses: np.ndarray
+    text_base: int
+    text_size: int
+
+    def __post_init__(self) -> None:
+        if self.addresses.dtype != np.uint32:
+            object.__setattr__(self, "addresses", self.addresses.astype(np.uint32))
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def instruction_indices(self) -> np.ndarray:
+        """Per-access static instruction index (word offset into text)."""
+        return (self.addresses - np.uint32(self.text_base)) >> np.uint32(2)
+
+    def line_addresses(self, line_size: int = 32) -> np.ndarray:
+        """Cache-line numbers touched by each access, in order."""
+        shift = line_size.bit_length() - 1
+        if 1 << shift != line_size:
+            raise ValueError(f"line size {line_size} is not a power of two")
+        return self.addresses >> np.uint32(shift)
+
+    def execution_counts(self, text_words: int | None = None) -> np.ndarray:
+        """How many times each static instruction executed.
+
+        Args:
+            text_words: Length of the returned histogram; defaults to the
+                number of words in the text segment.
+        """
+        if text_words is None:
+            text_words = self.text_size // 4
+        return np.bincount(self.instruction_indices, minlength=text_words)
+
+    def touched_lines(self, line_size: int = 32) -> np.ndarray:
+        """Sorted unique cache-line numbers the trace touches."""
+        return np.unique(self.line_addresses(line_size))

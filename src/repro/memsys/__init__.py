@@ -1,0 +1,19 @@
+"""Embedded instruction-memory timing models (paper Section 4.2.1)."""
+
+from repro.memsys.models import (
+    BURST_EPROM,
+    EPROM,
+    MEMORY_MODELS,
+    SC_DRAM,
+    MemoryModel,
+    get_memory_model,
+)
+
+__all__ = [
+    "BURST_EPROM",
+    "EPROM",
+    "MEMORY_MODELS",
+    "MemoryModel",
+    "SC_DRAM",
+    "get_memory_model",
+]

@@ -1,0 +1,11 @@
+"""Command-line developer tools.
+
+The paper's development flow uses a standard toolchain plus a host-side
+compression tool.  These commands provide that flow for this library:
+
+* ``ccrp-asm`` — assemble MIPS-I source to a binary text segment;
+* ``ccrp-disasm`` — disassemble a binary text segment;
+* ``ccrp-run`` — assemble and execute a program, with optional profiling;
+* ``ccrp-compress`` — the host-side compression tool: build the LAT +
+  compressed-blocks image for a binary and report the size breakdown.
+"""

@@ -1,0 +1,48 @@
+"""``ccrp-asm`` — assemble MIPS-I source to a binary text segment."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.isa.assembler import Assembler
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-asm", description="Assemble MIPS-I source (see repro.isa.assembler)."
+    )
+    parser.add_argument("source", type=Path, help="assembly source file")
+    parser.add_argument(
+        "-o", "--output", type=Path, help="text-segment output (default: <source>.bin)"
+    )
+    parser.add_argument(
+        "--data-output", type=Path, help="also write the initialised data segment"
+    )
+    parser.add_argument(
+        "--listing", action="store_true", help="print a label/size summary"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        program = Assembler().assemble(args.source.read_text())
+    except (OSError, ReproError) as error:
+        print(f"ccrp-asm: {error}", file=sys.stderr)
+        return 1
+
+    output = args.output or args.source.with_suffix(".bin")
+    output.write_bytes(program.text)
+    print(f"{output}: {program.size} bytes of text ({len(program.instructions)} instructions)")
+    if args.data_output:
+        args.data_output.write_bytes(program.data)
+        print(f"{args.data_output}: {len(program.data)} bytes of data")
+    if args.listing:
+        for name, address in sorted(program.labels.items(), key=lambda item: item[1]):
+            print(f"  {address:#08x}  {name}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""``ccrp-compress`` — the paper's host-side code compression tool.
+
+Takes a binary text segment (or assembly source), compresses it with the
+standard preselected bounded Huffman code, and reports the stored-size
+breakdown.  Optionally writes the serialised instruction-memory image
+(LAT followed by compressed blocks) the way the development host would
+burn it into EPROM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.ccrp.compressor import ProgramCompressor
+from repro.core.standard import standard_code
+from repro.isa.assembler import Assembler
+
+
+def _load_text(path: Path) -> bytes:
+    if path.suffix in (".s", ".asm"):
+        return Assembler().assemble(path.read_text()).text
+    return path.read_bytes()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-compress",
+        description="Compress a MIPS text segment into a CCRP instruction-memory image.",
+    )
+    parser.add_argument(
+        "input", type=Path, help="binary text segment, or .s/.asm source to assemble"
+    )
+    parser.add_argument("-o", "--output", type=Path, help="write the memory image here")
+    parser.add_argument(
+        "--alignment",
+        type=int,
+        choices=(1, 4),
+        default=1,
+        help="compressed-block alignment (1 = byte, 4 = word)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true", help="decompress and compare against the input"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        text = _load_text(args.input)
+        if len(text) % 4:
+            raise ReproError(f"text segment length {len(text)} is not word aligned")
+        compressor = ProgramCompressor(standard_code(), alignment=args.alignment)
+        image = compressor.compress(text)
+    except (OSError, ReproError) as error:
+        print(f"ccrp-compress: {error}", file=sys.stderr)
+        return 1
+
+    bypassed = sum(1 for block in image.blocks if not block.is_compressed)
+    print(f"input          : {image.original_size:,} bytes ({image.line_count} lines)")
+    print(
+        f"compressed code: {image.compressed_code_bytes:,} bytes "
+        f"({image.compression_ratio:.1%})"
+    )
+    print(
+        f"LAT            : {image.lat.storage_bytes:,} bytes "
+        f"({image.lat.storage_bytes / image.padded_original_size:.2%})"
+    )
+    print(
+        f"total image    : {image.total_stored_bytes:,} bytes "
+        f"({image.total_ratio_with_lat:.1%} of original)"
+    )
+    print(f"bypass lines   : {bypassed} of {image.line_count}")
+
+    if args.verify:
+        restored = compressor.block_compressor.decompress_program(list(image.blocks))
+        if restored[: len(text)] != text:
+            print("ccrp-compress: VERIFY FAILED", file=sys.stderr)
+            return 2
+        print("verify         : OK (bit-exact round trip)")
+
+    if args.output:
+        args.output.write_bytes(image.memory_image())
+        print(f"wrote {args.output} ({image.total_stored_bytes - image.code_table_bytes:,} bytes)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

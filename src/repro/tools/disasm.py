@@ -1,0 +1,34 @@
+"""``ccrp-disasm`` — disassemble a binary MIPS-I text segment."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.isa.disassembler import disassemble_program
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-disasm", description="Disassemble a big-endian MIPS-I text segment."
+    )
+    parser.add_argument("binary", type=Path, help="text-segment binary file")
+    parser.add_argument(
+        "--base", type=lambda value: int(value, 0), default=0, help="load address"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        code = args.binary.read_bytes()
+        for line in disassemble_program(code, base=args.base):
+            print(line)
+    except (OSError, ReproError) as error:
+        print(f"ccrp-disasm: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

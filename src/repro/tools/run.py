@@ -1,0 +1,55 @@
+"""``ccrp-run`` — assemble and execute a program on the functional simulator."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.isa.assembler import Assembler
+from repro.machine.executor import Machine
+from repro.machine.profile import profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-run",
+        description="Assemble and execute MIPS-I source; prints the program's "
+        "syscall output and execution statistics.",
+    )
+    parser.add_argument("source", type=Path, help="assembly source file")
+    parser.add_argument(
+        "--max-instructions", type=int, default=4_000_000, help="dynamic limit"
+    )
+    parser.add_argument(
+        "--stop-at-limit",
+        action="store_true",
+        help="truncate instead of failing when the limit is hit",
+    )
+    parser.add_argument("--profile", action="store_true", help="print a pixie-style profile")
+    args = parser.parse_args(argv)
+
+    try:
+        program = Assembler().assemble(args.source.read_text())
+        result = Machine(program).run(
+            max_instructions=args.max_instructions, stop_at_limit=args.stop_at_limit
+        )
+    except (OSError, ReproError) as error:
+        print(f"ccrp-run: {error}", file=sys.stderr)
+        return 1
+
+    if result.output:
+        print(result.output, end="" if result.output.endswith("\n") else "\n")
+    print(
+        f"[exit {result.exit_code}; {result.instructions_executed:,} instructions, "
+        f"{result.data_accesses:,} data accesses, {result.stall_cycles:,} stall cycles]"
+    )
+    if args.profile:
+        print()
+        print(profile(result, program).render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The benchmark workload suite.
+
+The paper compresses ten DECstation 3100 programs (Figure 5) and drives its
+performance simulations with pixie traces of workstation benchmarks
+(NASA7, matrix25A, fpppp, espresso, NASA1, eightq, tomcatv, lloopO1).
+Real 1992 MIPS binaries and traces are unavailable, so this package builds
+the closest synthetic equivalents from scratch:
+
+* hand-written MIPS-I assembly kernels for the small numeric programs
+  (eight queens, 25x25 matrix multiply, Livermore loop 1, NASA kernels,
+  tomcatv-style relaxation);
+* a deterministic synthetic code generator that emits realistic R2000
+  machine code for the large irregular programs (espresso-, spim-,
+  xlisp-like) and for the static Figure 5 corpus at the paper's exact
+  text-segment sizes;
+* an fpppp-like program whose signature — an enormous straight-line basic
+  block full of addressing constants — reproduces both its cache behaviour
+  and its status as the paper's compression outlier.
+
+Everything is reproducible: same name, same bytes, same trace.
+"""
+
+from repro.workloads.suite import (
+    FIGURE5_PROGRAMS,
+    SIMULATION_PROGRAMS,
+    Workload,
+    load,
+    load_figure5_corpus,
+)
+
+__all__ = [
+    "FIGURE5_PROGRAMS",
+    "SIMULATION_PROGRAMS",
+    "Workload",
+    "load",
+    "load_figure5_corpus",
+]

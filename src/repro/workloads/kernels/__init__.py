@@ -1,0 +1,16 @@
+"""Hand-written MIPS-I assembly kernels for the benchmark suite."""
+
+from repro.workloads.kernels.eightq import EIGHTQ_SOURCE
+from repro.workloads.kernels.livermore import LLOOP01_SOURCE
+from repro.workloads.kernels.matrix import MATRIX25A_SOURCE
+from repro.workloads.kernels.nasa import NASA1_SOURCE, NASA7_SOURCE
+from repro.workloads.kernels.tomcatv import TOMCATV_SOURCE
+
+__all__ = [
+    "EIGHTQ_SOURCE",
+    "LLOOP01_SOURCE",
+    "MATRIX25A_SOURCE",
+    "NASA1_SOURCE",
+    "NASA7_SOURCE",
+    "TOMCATV_SOURCE",
+]

@@ -1,0 +1,241 @@
+"""Extra validation workloads (not part of the paper's tables).
+
+Three real algorithms whose results are independently checkable in
+Python, used to pin down the functional simulator's integer semantics:
+
+* ``qsort`` — recursive Lomuto quicksort over 256 LCG-generated words;
+  exits with the number of correctly ordered adjacent pairs (255 when
+  fully sorted).
+* ``crc32`` — bitwise reflected CRC-32 (polynomial 0xEDB88320) over a
+  deterministic 256-byte buffer; exits with the CRC, which the tests
+  compare against :func:`zlib.crc32`.
+* ``fib`` — naive recursive Fibonacci(20) = 6765; a deep-recursion
+  stack-discipline stress.
+"""
+
+QSORT_SOURCE = """
+# --- recursive quicksort over 256 words --------------------------------
+.text
+main:
+    # fill arr[i] with an LCG so the data is thoroughly unsorted
+    la  $s0, arr
+    li  $s1, 12345          # seed
+    li  $t0, 0
+fill:
+    lui $t1, 0x41C6
+    ori $t1, $t1, 0x4E6D    # 1103515245
+    mult $s1, $t1
+    mflo $s1
+    addiu $s1, $s1, 12345
+    srl $t2, $s1, 8
+    andi $t2, $t2, 0xFFFF
+    sll $t3, $t0, 2
+    addu $t3, $s0, $t3
+    sw  $t2, 0($t3)
+    addiu $t0, $t0, 1
+    li  $t4, 256
+    bne $t0, $t4, fill
+    nop
+
+    li  $a0, 0              # lo
+    li  $a1, 255            # hi
+    jal quicksort
+    nop
+
+    # count correctly ordered adjacent pairs
+    la  $t0, arr
+    li  $t1, 0              # i
+    li  $t2, 0              # ordered count
+check:
+    lw  $t3, 0($t0)
+    lw  $t4, 4($t0)
+    sltu $t5, $t4, $t3      # 1 if out of order
+    xori $t5, $t5, 1
+    addu $t2, $t2, $t5
+    addiu $t0, $t0, 4
+    addiu $t1, $t1, 1
+    li  $t6, 255
+    bne $t1, $t6, check
+    nop
+    move $a0, $t2
+    li  $v0, 10
+    syscall
+
+# quicksort(lo, hi) over word indices, Lomuto partition, pivot = arr[hi]
+quicksort:
+    slt $t0, $a0, $a1
+    bnez $t0, qs_work
+    nop
+    jr  $ra                 # lo >= hi: done
+    nop
+qs_work:
+    addiu $sp, $sp, -16
+    sw  $ra, 12($sp)
+    sw  $s2, 8($sp)         # lo
+    sw  $s3, 4($sp)         # hi
+    sw  $s4, 0($sp)         # partition index
+    move $s2, $a0
+    move $s3, $a1
+
+    # --- partition ------------------------------------------------------
+    la  $t8, arr
+    sll $t0, $s3, 2
+    addu $t0, $t8, $t0
+    lw  $t9, 0($t0)         # pivot = arr[hi]
+    move $t1, $s2           # store index i
+    move $t2, $s2           # scan index j
+part_loop:
+    slt $t0, $t2, $s3
+    beqz $t0, part_done
+    nop
+    sll $t3, $t2, 2
+    addu $t3, $t8, $t3
+    lw  $t4, 0($t3)         # arr[j]
+    sltu $t5, $t9, $t4      # pivot < arr[j]?
+    bnez $t5, part_next
+    nop
+    # swap arr[i] <-> arr[j]
+    sll $t6, $t1, 2
+    addu $t6, $t8, $t6
+    lw  $t7, 0($t6)
+    sw  $t4, 0($t6)
+    sw  $t7, 0($t3)
+    addiu $t1, $t1, 1
+part_next:
+    addiu $t2, $t2, 1
+    b   part_loop
+    nop
+part_done:
+    # swap arr[i] <-> arr[hi]
+    sll $t6, $t1, 2
+    addu $t6, $t8, $t6
+    lw  $t7, 0($t6)
+    sll $t3, $s3, 2
+    addu $t3, $t8, $t3
+    lw  $t4, 0($t3)
+    sw  $t4, 0($t6)
+    sw  $t7, 0($t3)
+    move $s4, $t1           # partition index p
+
+    # --- recurse --------------------------------------------------------
+    move $a0, $s2
+    addiu $a1, $s4, -1
+    jal quicksort
+    nop
+    addiu $a0, $s4, 1
+    move $a1, $s3
+    jal quicksort
+    nop
+
+    lw  $ra, 12($sp)
+    lw  $s2, 8($sp)
+    lw  $s3, 4($sp)
+    lw  $s4, 0($sp)
+    addiu $sp, $sp, 16
+    jr  $ra
+    nop
+
+.data
+.align 2
+arr: .space 1024
+"""
+
+CRC32_SOURCE = """
+# --- bitwise reflected CRC-32 over a 256-byte buffer ---------------------
+.text
+main:
+    # buffer[i] = (7*i + 3) & 0xFF
+    la  $s0, buf
+    li  $t0, 0
+fill:
+    sll $t1, $t0, 3
+    subu $t1, $t1, $t0      # 7*i
+    addiu $t1, $t1, 3
+    andi $t1, $t1, 0xFF
+    addu $t2, $s0, $t0
+    sb  $t1, 0($t2)
+    addiu $t0, $t0, 1
+    li  $t3, 256
+    bne $t0, $t3, fill
+    nop
+
+    li  $s1, -1             # crc = 0xFFFFFFFF
+    lui $s2, 0xEDB8
+    ori $s2, $s2, 0x8320    # reflected polynomial
+    li  $t0, 0              # byte index
+byte_loop:
+    addu $t1, $s0, $t0
+    lbu $t2, 0($t1)
+    xor $s1, $s1, $t2
+    li  $t3, 8              # bit counter
+bit_loop:
+    andi $t4, $s1, 1
+    srl $s1, $s1, 1
+    beqz $t4, bit_next
+    nop
+    xor $s1, $s1, $s2
+bit_next:
+    addiu $t3, $t3, -1
+    bnez $t3, bit_loop
+    nop
+    addiu $t0, $t0, 1
+    li  $t5, 256
+    bne $t0, $t5, byte_loop
+    nop
+
+    nor $s1, $s1, $zero     # crc ^= 0xFFFFFFFF
+    move $a0, $s1
+    li  $v0, 10
+    syscall
+
+.data
+buf: .space 256
+"""
+
+FIB_SOURCE = """
+# --- naive recursive Fibonacci(20) ---------------------------------------
+.text
+main:
+    li  $a0, 20
+    jal fib
+    nop
+    move $a0, $v0
+    li  $v0, 10
+    syscall
+
+fib:
+    slti $t0, $a0, 2
+    beqz $t0, fib_recurse
+    nop
+    move $v0, $a0           # fib(0)=0, fib(1)=1
+    jr  $ra
+    nop
+fib_recurse:
+    addiu $sp, $sp, -12
+    sw  $ra, 8($sp)
+    sw  $s0, 4($sp)
+    sw  $s1, 0($sp)
+    move $s0, $a0
+    addiu $a0, $s0, -1
+    jal fib
+    nop
+    move $s1, $v0
+    addiu $a0, $s0, -2
+    jal fib
+    nop
+    addu $v0, $v0, $s1
+    lw  $ra, 8($sp)
+    lw  $s0, 4($sp)
+    lw  $s1, 0($sp)
+    addiu $sp, $sp, 12
+    jr  $ra
+    nop
+"""
+
+
+def crc32_expected() -> int:
+    """The CRC the crc32 kernel must exit with, computed with zlib."""
+    import zlib
+
+    buffer = bytes((7 * i + 3) & 0xFF for i in range(256))
+    return zlib.crc32(buffer)

@@ -1,0 +1,101 @@
+"""Livermore loop 1 — hydro fragment (``lloopO1`` in the paper).
+
+``x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`` over 400 elements,
+repeated for many passes.  The kernel is tiny — it fits comfortably in
+even a 256-byte instruction cache, which is why the paper's lloopO1 shows
+near-zero miss rates at every size.
+"""
+
+#: Vector length (the classic Livermore loop 1 parameter).
+N = 400
+
+#: Outer repetitions, sized to give a paper-scale dynamic trace.
+PASSES = 60
+
+LLOOP01_SOURCE = f"""
+# --- Livermore loop 1: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]) --------
+.text
+main:
+    # seed y[k] = k/8, z[k] = k/16 (cheap deterministic fill)
+    la  $t0, vec_y
+    la  $t1, vec_z
+    li  $t2, 0
+fill:
+    mtc1 $t2, $f0
+    cvt.d.w $f2, $f0
+    li  $t3, 8
+    mtc1 $t3, $f4
+    cvt.d.w $f6, $f4
+    div.d $f8, $f2, $f6
+    s.d $f8, 0($t0)
+    li  $t3, 16
+    mtc1 $t3, $f4
+    cvt.d.w $f6, $f4
+    div.d $f8, $f2, $f6
+    s.d $f8, 0($t1)
+    addiu $t0, $t0, 8
+    addiu $t1, $t1, 8
+    addiu $t2, $t2, 1
+    li  $t4, {N + 11}
+    bne $t2, $t4, fill
+    nop
+
+    # constants q, r, t
+    la  $t0, const_q
+    l.d $f20, 0($t0)
+    l.d $f22, 8($t0)        # r
+    l.d $f24, 16($t0)       # t
+
+    li  $s2, {PASSES}
+pass_loop:
+    la  $s0, vec_x
+    la  $s1, vec_y
+    la  $s3, vec_z
+    li  $t2, {N}
+kernel:
+    l.d $f0, 80($s3)        # z[k+10]
+    l.d $f2, 88($s3)        # z[k+11]
+    mul.d $f4, $f22, $f0    # r*z[k+10]
+    mul.d $f6, $f24, $f2    # t*z[k+11]
+    add.d $f4, $f4, $f6
+    l.d $f8, 0($s1)         # y[k]
+    mul.d $f4, $f8, $f4
+    add.d $f4, $f20, $f4    # q + ...
+    s.d $f4, 0($s0)
+    addiu $s0, $s0, 8
+    addiu $s1, $s1, 8
+    addiu $s3, $s3, 8
+    addiu $t2, $t2, -1
+    bnez $t2, kernel
+    nop
+    addiu $s2, $s2, -1
+    bnez $s2, pass_loop
+    nop
+
+    # exit with trunc(x[N-1]) as a self-check
+    la  $t0, vec_x
+    l.d $f0, {(N - 1) * 8}($t0)
+    cvt.w.d $f2, $f0
+    mfc1 $a0, $f2
+    li  $v0, 10
+    syscall
+
+.data
+.align 3
+const_q: .double 0.5
+.double 2.0
+.double 3.0
+vec_x: .space {N * 8}
+vec_y: .space {(N + 11) * 8}
+vec_z: .space {(N + 11) * 8}
+"""
+
+
+def expected_exit() -> int:
+    """trunc(x[N-1]) computed independently."""
+    q, r, t = 0.5, 2.0, 3.0
+    k = N - 1
+    y = k / 8
+    z10 = (k + 10) / 16
+    z11 = (k + 11) / 16
+    return int(q + y * (r * z10 + t * z11))

@@ -1,0 +1,168 @@
+"""25x25 double-precision matrix multiply (``matrix25A`` in the paper).
+
+C = A x B with A[i][j] = i + 2j and B[i][j] = i - j generated in-program,
+then a checksum pass over C.  The exit code carries a truncated checksum
+the test suite validates against the straightforward Python computation.
+"""
+
+#: Matrix dimension used by the kernel (25, as the benchmark name says).
+N = 25
+
+#: Row stride in bytes (N doubles).
+_STRIDE = N * 8
+
+MATRIX25A_SOURCE = f"""
+# --- matrix25A: C = A * B over 25x25 doubles --------------------------
+.text
+main:
+    jal init_matrices
+    nop
+    jal multiply
+    nop
+    jal checksum
+    nop
+    move $a0, $v0
+    li  $v0, 10
+    syscall
+
+# Fill A[i][j] = i + 2j and B[i][j] = i - j.
+init_matrices:
+    la  $t0, mat_a
+    la  $t1, mat_b
+    li  $t2, 0              # i
+init_i:
+    li  $t3, 0              # j
+init_j:
+    # value_a = i + 2j
+    sll $t4, $t3, 1
+    addu $t4, $t4, $t2
+    mtc1 $t4, $f0
+    cvt.d.w $f2, $f0
+    s.d $f2, 0($t0)
+    # value_b = i - j
+    subu $t5, $t2, $t3
+    mtc1 $t5, $f4
+    cvt.d.w $f6, $f4
+    s.d $f6, 0($t1)
+    addiu $t0, $t0, 8
+    addiu $t1, $t1, 8
+    addiu $t3, $t3, 1
+    li  $t6, {N}
+    bne $t3, $t6, init_j
+    nop
+    addiu $t2, $t2, 1
+    bne $t2, $t6, init_i
+    nop
+    jr  $ra
+    nop
+
+# Classic i-j-k triple loop; the dot product lives in its own unrolled
+# procedure, as the benchmark's FORTRAN compiler emitted it.
+multiply:
+    addiu $sp, $sp, -8
+    sw  $ra, 4($sp)
+    la  $s0, mat_a          # A[i][0]
+    la  $s2, mat_c          # C[i][0]
+    li  $s5, 0              # i
+mul_i:
+    li  $s6, 0              # j
+mul_j:
+    move $a0, $s0           # &A[i][0]
+    la  $a1, mat_b
+    sll $t6, $s6, 3
+    addu $a1, $a1, $t6      # &B[0][j]
+    jal dot25
+    nop
+    sll $t6, $s6, 3
+    addu $t6, $s2, $t6
+    s.d $f0, 0($t6)         # C[i][j] = dot(A row, B column)
+    addiu $s6, $s6, 1
+    li  $t7, {N}
+    bne $s6, $t7, mul_j
+    nop
+    addiu $s0, $s0, {_STRIDE}
+    addiu $s2, $s2, {_STRIDE}
+    addiu $s5, $s5, 1
+    li  $t7, {N}
+    bne $s5, $t7, mul_i
+    nop
+    lw  $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr  $ra
+    nop
+
+# dot25(&row, &col): $f0 = sum A[k]*B[k*stride], k = 0..24, unrolled x5.
+dot25:
+    mtc1 $zero, $f0
+    mtc1 $zero, $f1
+    move $t4, $a0
+    move $t5, $a1
+    li  $t2, 5
+dot25_k:
+    l.d $f2, 0($t4)
+    l.d $f4, 0($t5)
+    mul.d $f6, $f2, $f4
+    add.d $f0, $f0, $f6
+    l.d $f2, 8($t4)
+    l.d $f4, {_STRIDE}($t5)
+    mul.d $f6, $f2, $f4
+    add.d $f0, $f0, $f6
+    l.d $f2, 16($t4)
+    l.d $f4, {2 * _STRIDE}($t5)
+    mul.d $f6, $f2, $f4
+    add.d $f0, $f0, $f6
+    l.d $f2, 24($t4)
+    l.d $f4, {3 * _STRIDE}($t5)
+    mul.d $f6, $f2, $f4
+    add.d $f0, $f0, $f6
+    l.d $f2, 32($t4)
+    l.d $f4, {4 * _STRIDE}($t5)
+    mul.d $f6, $f2, $f4
+    add.d $f0, $f0, $f6
+    addiu $t4, $t4, 40
+    addiu $t5, $t5, {5 * _STRIDE}
+    addiu $t2, $t2, -1
+    bnez $t2, dot25_k
+    nop
+    jr  $ra
+    nop
+
+# checksum = trunc(sum(C) / 256) so it fits an exit code comparison.
+checksum:
+    la  $t0, mat_c
+    li  $t1, {N * N}
+    mtc1 $zero, $f0
+    mtc1 $zero, $f1
+sum_loop:
+    l.d $f2, 0($t0)
+    add.d $f0, $f0, $f2
+    addiu $t0, $t0, 8
+    addiu $t1, $t1, -1
+    bnez $t1, sum_loop
+    nop
+    li  $t2, 256
+    mtc1 $t2, $f4
+    cvt.d.w $f6, $f4
+    div.d $f8, $f0, $f6
+    cvt.w.d $f10, $f8
+    mfc1 $v0, $f10
+    jr  $ra
+    nop
+
+.data
+.align 3
+mat_a: .space {N * N * 8}
+mat_b: .space {N * N * 8}
+mat_c: .space {N * N * 8}
+"""
+
+
+def expected_checksum() -> int:
+    """The checksum main exits with, computed independently in Python."""
+    a = [[i + 2 * j for j in range(N)] for i in range(N)]
+    b = [[i - j for j in range(N)] for i in range(N)]
+    total = 0.0
+    for i in range(N):
+        for j in range(N):
+            total += sum(a[i][k] * b[k][j] for k in range(N))
+    return int(total / 256)

@@ -1,0 +1,187 @@
+"""A tomcatv-style mesh relaxation workload.
+
+SPEC's tomcatv generates a 2-D mesh by iterating residual and relaxation
+sweeps over coordinate arrays.  This kernel keeps that structure: per
+outer iteration, an unrolled residual stencil over the interior of a
+18x18 grid of doubles, an unrolled reduction of the residuals, and an
+unrolled update sweep — three loop nests whose combined code footprint
+(~900 bytes) no longer fits the smallest caches.
+"""
+
+#: Grid dimension (interior 16x16 so the unrolled loops divide evenly).
+N = 18
+
+_ROW = N * 8
+
+TOMCATV_SOURCE = f"""
+# --- tomcatv-style relaxation over a {N}x{N} double grid ----------------
+.text
+main:
+    jal grid_init
+    nop
+    la  $t3, tc_half
+    l.d $f28, 0($t3)
+    li  $s7, 80             # outer iterations
+tc_iter:
+    jal residual_sweep
+    nop
+    jal reduce_residual
+    nop
+    jal update_sweep
+    nop
+    addiu $s7, $s7, -1
+    bnez $s7, tc_iter
+    nop
+    li $a0, 0
+    li $v0, 10
+    syscall
+
+# x[i][j] = (i*j mod 7) / 4 over the full grid.
+grid_init:
+    la  $t0, tc_x
+    li  $t1, 0              # i
+gi_i:
+    li  $t2, 0              # j
+gi_j:
+    mult $t1, $t2
+    mflo $t4
+    li  $t5, 7
+    divu $t4, $t5
+    mfhi $t4
+    mtc1 $t4, $f0
+    cvt.d.w $f2, $f0
+    li  $t5, 4
+    mtc1 $t5, $f4
+    cvt.d.w $f6, $f4
+    div.d $f8, $f2, $f6
+    s.d $f8, 0($t0)
+    addiu $t0, $t0, 8
+    addiu $t2, $t2, 1
+    li  $t6, {N}
+    bne $t2, $t6, gi_j
+    nop
+    addiu $t1, $t1, 1
+    bne $t1, $t6, gi_i
+    nop
+    jr  $ra
+    nop
+
+# r[i][j] = x[i][j-1] + x[i][j+1] + x[i-1][j] + x[i+1][j] - 4 x[i][j],
+# unrolled two columns per trip.
+residual_sweep:
+    la  $t0, tc_x
+    addiu $t0, $t0, {_ROW + 8}      # &x[1][1]
+    la  $t1, tc_r
+    addiu $t1, $t1, {_ROW + 8}
+    li  $t2, {N - 2}                # i
+rs_i:
+    li  $t3, {(N - 2) // 2}         # j pairs
+rs_j:
+    l.d $f0, -8($t0)
+    l.d $f2, 8($t0)
+    add.d $f0, $f0, $f2
+    l.d $f2, -{_ROW}($t0)
+    add.d $f0, $f0, $f2
+    l.d $f2, {_ROW}($t0)
+    add.d $f0, $f0, $f2
+    l.d $f4, 0($t0)
+    add.d $f6, $f4, $f4
+    add.d $f6, $f6, $f6             # 4*x
+    sub.d $f0, $f0, $f6
+    s.d $f0, 0($t1)
+    l.d $f10, 0($t0)
+    l.d $f12, 16($t0)
+    add.d $f10, $f10, $f12
+    l.d $f12, {-_ROW + 8}($t0)
+    add.d $f10, $f10, $f12
+    l.d $f12, {_ROW + 8}($t0)
+    add.d $f10, $f10, $f12
+    l.d $f14, 8($t0)
+    add.d $f16, $f14, $f14
+    add.d $f16, $f16, $f16
+    sub.d $f10, $f10, $f16
+    s.d $f10, 8($t1)
+    addiu $t0, $t0, 16
+    addiu $t1, $t1, 16
+    addiu $t3, $t3, -1
+    bnez $t3, rs_j
+    nop
+    addiu $t0, $t0, 16              # skip boundary columns
+    addiu $t1, $t1, 16
+    addiu $t2, $t2, -1
+    bnez $t2, rs_i
+    nop
+    jr  $ra
+    nop
+
+# rsum = sum r*r, unrolled four elements per trip.
+reduce_residual:
+    la  $t0, tc_r
+    li  $t1, {N * N // 4}
+    mtc1 $zero, $f0
+    mtc1 $zero, $f1
+rr_loop:
+    l.d $f2, 0($t0)
+    mul.d $f4, $f2, $f2
+    add.d $f0, $f0, $f4
+    l.d $f2, 8($t0)
+    mul.d $f4, $f2, $f2
+    add.d $f0, $f0, $f4
+    l.d $f2, 16($t0)
+    mul.d $f4, $f2, $f2
+    add.d $f0, $f0, $f4
+    l.d $f2, 24($t0)
+    mul.d $f4, $f2, $f2
+    add.d $f0, $f0, $f4
+    addiu $t0, $t0, 32
+    addiu $t1, $t1, -1
+    bnez $t1, rr_loop
+    nop
+    la  $t2, tc_rsum
+    s.d $f0, 0($t2)
+    jr  $ra
+    nop
+
+# x[i][j] += 0.5 * r[i][j], unrolled four elements per trip.
+update_sweep:
+    la  $t0, tc_x
+    addiu $t0, $t0, {_ROW + 8}
+    la  $t1, tc_r
+    addiu $t1, $t1, {_ROW + 8}
+    li  $t2, {(N - 2) * (N - 2) // 4}
+us_loop:
+    l.d $f0, 0($t0)
+    l.d $f2, 0($t1)
+    mul.d $f4, $f2, $f28
+    add.d $f0, $f0, $f4
+    s.d $f0, 0($t0)
+    l.d $f6, 8($t0)
+    l.d $f8, 8($t1)
+    mul.d $f10, $f8, $f28
+    add.d $f6, $f6, $f10
+    s.d $f6, 8($t0)
+    l.d $f12, 16($t0)
+    l.d $f14, 16($t1)
+    mul.d $f16, $f14, $f28
+    add.d $f12, $f12, $f16
+    s.d $f12, 16($t0)
+    l.d $f18, 24($t0)
+    l.d $f20, 24($t1)
+    mul.d $f22, $f20, $f28
+    add.d $f18, $f18, $f22
+    s.d $f18, 24($t0)
+    addiu $t0, $t0, 32
+    addiu $t1, $t1, 32
+    addiu $t2, $t2, -1
+    bnez $t2, us_loop
+    nop
+    jr  $ra
+    nop
+
+.data
+.align 3
+tc_half: .double 0.5
+tc_rsum: .space 8
+tc_x: .space {N * N * 8 + 64}
+tc_r: .space {N * N * 8 + 64}
+"""

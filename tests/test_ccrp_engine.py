@@ -1,0 +1,349 @@
+"""Tests for the CCRP engine: compressor, image, CLB, decoder, refill."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ccrp import (
+    CLB,
+    DecoderModel,
+    ExpandingInstructionCache,
+    ProgramCompressor,
+    RefillEngine,
+)
+from repro.compression.block import CompressedBlock
+from repro.compression.histogram import byte_histogram
+from repro.compression.huffman import HuffmanCode
+from repro.memsys import BURST_EPROM, EPROM, SC_DRAM
+
+
+def make_code(data: bytes) -> HuffmanCode:
+    return HuffmanCode.from_frequencies(
+        byte_histogram(data), max_length=16, cover_all_symbols=True
+    )
+
+
+def sample_text(lines: int = 40, seed: int = 30) -> bytes:
+    rng = random.Random(seed)
+    # Skewed byte distribution, like machine code.
+    return bytes(rng.choices(range(256), weights=[400] + [4] * 63 + [1] * 192, k=lines * 32))
+
+
+class TestProgramCompressor:
+    def test_image_layout(self):
+        text = sample_text()
+        image = ProgramCompressor(make_code(text)).compress(text, lat_base=0x1000)
+        assert image.lat_base == 0x1000
+        assert image.code_base == 0x1000 + image.lat.storage_bytes
+        assert image.line_count == 40
+
+    def test_round_trip_through_image(self):
+        text = sample_text()
+        compressor = ProgramCompressor(make_code(text))
+        image = compressor.compress(text)
+        restored = compressor.block_compressor.decompress_program(list(image.blocks))
+        assert restored[: len(text)] == text
+
+    def test_compression_ratio_below_one_for_skewed_data(self):
+        text = sample_text()
+        image = ProgramCompressor(make_code(text)).compress(text)
+        assert image.compression_ratio < 1.0
+
+    def test_code_table_charged_when_requested(self):
+        text = sample_text()
+        code = make_code(text)
+        free = ProgramCompressor(code).compress(text)
+        charged = ProgramCompressor(code, charge_code_table=True).compress(text)
+        assert charged.total_stored_bytes == free.total_stored_bytes + 256
+
+    def test_lat_overhead_reported(self):
+        text = sample_text()
+        image = ProgramCompressor(make_code(text)).compress(text)
+        assert image.total_ratio_with_lat > image.compression_ratio
+        assert image.lat.overhead_ratio() == pytest.approx(8 / 256)
+
+    def test_memory_image_layout_matches_lat(self):
+        text = sample_text()
+        image = ProgramCompressor(make_code(text)).compress(text, lat_base=0)
+        memory = image.memory_image()
+        for line_number in range(image.line_count):
+            location = image.lat.locate(line_number)
+            start = location.address - image.lat_base
+            stored = memory[start : start + location.stored_size]
+            assert stored == image.blocks[line_number].data
+
+    def test_line_index_translation(self):
+        text = sample_text(lines=8)
+        image = ProgramCompressor(make_code(text)).compress(text, text_base=0x400)
+        assert image.line_index(0x400 // 32) == 0
+        assert image.line_index(0x400 // 32 + 3) == 3
+
+
+class TestCLB:
+    def test_compulsory_miss_then_hit(self):
+        clb = CLB(entries=4)
+        assert not clb.access(5)
+        assert clb.access(5)
+        assert clb.hits == 1 and clb.misses == 1
+
+    def test_lru_eviction_order(self):
+        clb = CLB(entries=2)
+        clb.access(1)
+        clb.access(2)
+        clb.access(1)  # 2 is now LRU
+        clb.access(3)  # evicts 2
+        assert clb.access(1)
+        assert not clb.access(2)
+
+    def test_capacity_respected(self):
+        clb = CLB(entries=4)
+        for index in range(10):
+            clb.access(index)
+        assert clb.occupancy == 4
+
+    def test_simulate_returns_miss_count(self):
+        clb = CLB(entries=2)
+        misses = clb.simulate([1, 2, 1, 2, 3, 1])
+        assert misses == 4  # 1, 2 compulsory; 3 evicts 1; 1 refetched
+
+    def test_bigger_clb_never_misses_more(self):
+        rng = random.Random(31)
+        stream = [rng.randrange(12) for _ in range(500)]
+        misses = [CLB(entries=n).simulate(stream) for n in (4, 8, 16)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_reset(self):
+        clb = CLB(entries=2)
+        clb.access(1)
+        clb.reset()
+        assert clb.occupancy == 0 and clb.misses == 0
+
+    def test_miss_rate(self):
+        clb = CLB(entries=2)
+        clb.simulate([1, 1, 1, 2])
+        assert clb.miss_rate == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CLB(entries=0)
+
+
+class TestDecoderModel:
+    def _compressed_block(self, bits_per_byte: int) -> CompressedBlock:
+        """A consistent synthetic block: 32 symbols of equal code length."""
+        bit_length = 32 * bits_per_byte
+        stored = (bit_length + 7) // 8
+        return CompressedBlock(
+            data=bytes(stored),
+            is_compressed=True,
+            bit_length=bit_length,
+            symbol_bits=(bits_per_byte,) * 32,
+        )
+
+    def test_bypass_block_is_plain_burst(self):
+        block = CompressedBlock(
+            data=bytes(32), is_compressed=False, bit_length=256, symbol_bits=None
+        )
+        decoder = DecoderModel()
+        assert decoder.refill_cycles(block, EPROM) == 24
+        assert decoder.refill_cycles(block, BURST_EPROM) == 10
+        assert decoder.refill_cycles(block, SC_DRAM) == 13
+
+    def test_fast_memory_hits_decode_floor(self):
+        # With burst EPROM the input always outruns a 2 B/cycle decoder:
+        # refill = first word (3) + 32/2 = 19 cycles.
+        block = self._compressed_block(bits_per_byte=5)  # 20-byte block
+        assert DecoderModel().refill_cycles(block, BURST_EPROM) == 19
+
+    def test_minimum_cycles_formula(self):
+        decoder = DecoderModel()
+        assert decoder.minimum_cycles(32, BURST_EPROM) == 19
+        assert decoder.minimum_cycles(32, EPROM) == 19
+
+    def test_slow_memory_stalls_decoder(self):
+        # EPROM delivers a word every 3 cycles; a 20-byte block's last word
+        # arrives at cycle 15, so the refill must finish after that.
+        block = self._compressed_block(bits_per_byte=5)  # 20-byte block
+        cycles = DecoderModel().refill_cycles(block, EPROM)
+        assert cycles >= 15
+        assert cycles < 24  # still beats the uncompressed refill
+
+    def test_smaller_blocks_refill_no_slower(self):
+        decoder = DecoderModel()
+        small = decoder.refill_cycles(self._compressed_block(bits_per_byte=2), EPROM)
+        large = decoder.refill_cycles(self._compressed_block(bits_per_byte=7), EPROM)
+        assert small <= large
+
+    def test_faster_decoder_helps_on_fast_memory(self):
+        block = self._compressed_block(bits_per_byte=4)  # 16-byte block
+        two = DecoderModel(bytes_per_cycle=2).refill_cycles(block, BURST_EPROM)
+        four = DecoderModel(bytes_per_cycle=4).refill_cycles(block, BURST_EPROM)
+        one = DecoderModel(bytes_per_cycle=1).refill_cycles(block, BURST_EPROM)
+        assert four < two < one
+
+    def test_dram_precharge_respected(self):
+        block = self._compressed_block(bits_per_byte=1)  # 4-byte block
+        cycles = DecoderModel().refill_cycles(block, SC_DRAM)
+        # Burst of 1 word ends at 4, +2 precharge = 6; decode floor = 4+16.
+        assert cycles == 20
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DecoderModel(bytes_per_cycle=0)
+
+
+class TestRefillEngine:
+    def _engine(self, memory=EPROM):
+        text = sample_text()
+        image = ProgramCompressor(make_code(text)).compress(text)
+        return RefillEngine(image, memory)
+
+    def test_baseline_refill_matches_memory_model(self):
+        assert self._engine(EPROM).baseline_refill_cycles == 24
+        assert self._engine(BURST_EPROM).baseline_refill_cycles == 10
+        assert self._engine(SC_DRAM).baseline_refill_cycles == 13
+
+    def test_lat_fetch_cycles(self):
+        assert self._engine(EPROM).lat_fetch_cycles == 6
+        assert self._engine(BURST_EPROM).lat_fetch_cycles == 4
+
+    def test_per_line_tables_cover_all_lines(self):
+        engine = self._engine()
+        assert len(engine.ccrp_refill_cycles) == engine.image.line_count
+        assert (engine.ccrp_refill_cycles > 0).all()
+
+    def test_miss_cycle_reduction(self):
+        engine = self._engine()
+        misses = np.array([0, 1, 0, 2])
+        expected = int(engine.ccrp_refill_cycles[[0, 1, 0, 2]].sum())
+        assert engine.ccrp_miss_cycles(misses) == expected
+
+    def test_empty_miss_stream(self):
+        engine = self._engine()
+        assert engine.ccrp_miss_cycles(np.array([], dtype=np.int64)) == 0
+        assert engine.ccrp_fetched_bytes(np.array([], dtype=np.int64)) == 0
+
+    def test_fetched_bytes_word_rounded(self):
+        engine = self._engine()
+        assert (engine.fetched_bytes_per_line % 4 == 0).all()
+        assert (engine.fetched_bytes_per_line <= 32).all()
+
+    def test_eprom_ccrp_refill_beats_baseline_on_compressed_lines(self):
+        engine = self._engine(EPROM)
+        compressed = [
+            index for index, block in enumerate(engine.image.blocks) if block.is_compressed
+        ]
+        assert compressed, "expected at least one compressed line"
+        assert all(
+            engine.ccrp_refill_cycles[index] < engine.baseline_refill_cycles
+            for index in compressed
+        )
+
+    def test_burst_eprom_ccrp_refill_slower_than_baseline(self):
+        engine = self._engine(BURST_EPROM)
+        compressed = [
+            index for index, block in enumerate(engine.image.blocks) if block.is_compressed
+        ]
+        assert all(
+            engine.ccrp_refill_cycles[index] > engine.baseline_refill_cycles
+            for index in compressed
+        )
+
+
+class TestExpandingInstructionCache:
+    def test_transparent_reads(self):
+        text = sample_text(lines=64)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        cache = ExpandingInstructionCache(image, cache_bytes=512)
+        for address in range(0, len(text), 4):
+            expected = int.from_bytes(text[address : address + 4], "big")
+            assert cache.fetch_word(address) == expected
+
+    def test_hits_and_misses_counted(self):
+        text = sample_text(lines=16)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        cache = ExpandingInstructionCache(image, cache_bytes=1024)
+        cache.fetch_word(0)
+        cache.fetch_word(4)
+        cache.fetch_word(32)
+        assert cache.misses == 2 and cache.hits == 1
+
+    def test_conflict_eviction_still_correct(self):
+        text = sample_text(lines=32)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        cache = ExpandingInstructionCache(image, cache_bytes=256)  # 8 sets
+        for address in (0, 256, 0, 256):
+            expected = int.from_bytes(text[address : address + 4], "big")
+            assert cache.fetch_word(address) == expected
+        assert cache.misses == 4
+
+    def test_clb_exercised(self):
+        text = sample_text(lines=32)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        cache = ExpandingInstructionCache(image, cache_bytes=256, clb_entries=2)
+        for line in range(32):
+            cache.read_line(line * 32)
+        assert cache.clb.misses >= 4
+
+    def test_unaligned_fetch_rejected(self):
+        text = sample_text(lines=8)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        cache = ExpandingInstructionCache(image, cache_bytes=256)
+        with pytest.raises(ConfigurationError):
+            cache.fetch_word(2)
+
+    def test_invalid_geometry_rejected(self):
+        text = sample_text(lines=8)
+        image = ProgramCompressor(make_code(text)).compress(text)
+        with pytest.raises(ConfigurationError):
+            ExpandingInstructionCache(image, cache_bytes=100)
+
+
+class TestCLBPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CLB(entries=4, policy="plru")
+
+    def test_fifo_ignores_recency(self):
+        fifo = CLB(entries=2, policy="fifo")
+        fifo.access(1)
+        fifo.access(2)
+        fifo.access(1)  # touch does not refresh FIFO order
+        fifo.access(3)  # evicts 1 (oldest insertion)
+        assert not fifo.access(1)
+
+    def test_lru_respects_recency_where_fifo_does_not(self):
+        stream = [1, 2, 1, 3, 1, 4, 1, 5, 1]
+        lru = CLB(entries=2, policy="lru")
+        fifo = CLB(entries=2, policy="fifo")
+        assert lru.simulate(stream) < fifo.simulate(stream)
+
+    def test_random_policy_deterministic(self):
+        stream = [random.Random(70).randrange(8) for _ in range(200)]
+        first = CLB(entries=4, policy="random").simulate(stream)
+        second = CLB(entries=4, policy="random").simulate(stream)
+        assert first == second
+
+    def test_policies_agree_below_capacity(self):
+        stream = [0, 1, 2, 0, 1, 2]
+        results = {
+            policy: CLB(entries=4, policy=policy).simulate(stream)
+            for policy in ("lru", "fifo", "random")
+        }
+        assert set(results.values()) == {3}
+
+    def test_lru_competitive_on_real_miss_stream(self):
+        """On a real workload's LAT-index stream, LRU should not lose to
+        FIFO by more than a whisker (and usually wins)."""
+        from repro.core.study import ProgramStudy
+
+        study = ProgramStudy("espresso")
+        miss_lines = study.cache_stats(512).miss_lines
+        lat_stream = (miss_lines // 8).tolist()
+        lru = CLB(entries=8, policy="lru").simulate(lat_stream)
+        fifo = CLB(entries=8, policy="fifo").simulate(lat_stream)
+        assert lru <= fifo * 1.02

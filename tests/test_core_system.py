@@ -1,0 +1,184 @@
+"""Tests for the core system model: configs, metrics, and comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache.datacache import DataCacheModel
+from repro.ccrp.decoder import DecoderModel
+from repro.core import ProgramStudy, SystemConfig, compare, standard_code
+from repro.core.performance import SystemMetrics
+
+
+class TestSystemConfig:
+    def test_defaults_match_paper_section3(self):
+        config = SystemConfig()
+        assert config.cache_bytes == 1024
+        assert config.line_size == 32
+        assert config.clb_entries == 16
+        assert config.decoder.bytes_per_cycle == 2
+        assert config.data_cache.miss_rate == 1.0
+
+    def test_with_options(self):
+        config = SystemConfig().with_options(cache_bytes=256, memory="sc_dram")
+        assert config.cache_bytes == 256
+        assert config.memory == "sc_dram"
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cache_bytes=16)
+
+    def test_invalid_alignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(block_alignment=3)
+
+    def test_invalid_clb_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(clb_entries=0)
+
+
+class TestSystemMetrics:
+    def test_total_cycles_sums_components(self):
+        metrics = SystemMetrics(
+            base_cycles=100,
+            refill_cycles=20,
+            data_cycles=30,
+            instruction_traffic_bytes=64,
+            misses=2,
+            accesses=100,
+        )
+        assert metrics.total_cycles == 150
+        assert metrics.miss_rate == pytest.approx(0.02)
+        assert metrics.cpi == pytest.approx(1.5)
+
+
+class TestStandardCode:
+    def test_cached_instance(self):
+        assert standard_code() is standard_code()
+
+    def test_covers_all_bytes_within_bound(self):
+        code = standard_code()
+        assert all(0 < length <= 16 for length in code.lengths)
+
+    def test_common_code_bytes_have_short_codes(self):
+        code = standard_code()
+        # 0x00 dominates RISC code (nop bytes, zero fields).
+        assert code.lengths[0x00] <= 4
+
+
+class TestCompare:
+    def test_eightq_structure(self):
+        report = compare("eightq", SystemConfig(cache_bytes=256, memory="eprom"))
+        assert report.program == "eightq"
+        assert report.cache_bytes == 256
+        assert report.memory == "eprom"
+        assert 0 < report.miss_rate < 0.5
+        assert report.baseline.misses == report.ccrp.misses
+
+    def test_eprom_ccrp_wins_at_high_miss_rate(self):
+        report = compare("eightq", SystemConfig(cache_bytes=256, memory="eprom"))
+        assert report.relative_execution_time < 1.0
+        assert report.speedup > 1.0
+
+    def test_burst_eprom_ccrp_loses_at_high_miss_rate(self):
+        report = compare("espresso", SystemConfig(cache_bytes=256, memory="burst_eprom"))
+        assert report.relative_execution_time > 1.0
+
+    def test_zero_miss_configuration_is_neutral(self):
+        report = compare("lloop01", SystemConfig(cache_bytes=4096, memory="burst_eprom"))
+        assert report.relative_execution_time == pytest.approx(1.0, abs=0.01)
+
+    def test_traffic_always_reduced(self):
+        for memory in ("eprom", "burst_eprom", "sc_dram"):
+            report = compare("espresso", SystemConfig(cache_bytes=512, memory=memory))
+            assert report.memory_traffic_ratio < 1.0
+
+    def test_dram_results_between_models(self):
+        reports = {
+            memory: compare("espresso", SystemConfig(cache_bytes=512, memory=memory))
+            for memory in ("eprom", "burst_eprom", "sc_dram")
+        }
+        assert (
+            reports["eprom"].relative_execution_time
+            < reports["sc_dram"].relative_execution_time
+            <= reports["burst_eprom"].relative_execution_time * 1.05
+        )
+
+    def test_miss_rate_independent_of_memory_model(self):
+        a = compare("nasa1", SystemConfig(cache_bytes=512, memory="eprom"))
+        b = compare("nasa1", SystemConfig(cache_bytes=512, memory="burst_eprom"))
+        assert a.miss_rate == b.miss_rate
+
+    def test_data_cache_dilutes_ccrp_effect(self):
+        """Paper 4.2.4: higher data-cache miss rate shrinks the CCRP delta."""
+        no_data = compare(
+            "nasa7",
+            SystemConfig(cache_bytes=1024, memory="burst_eprom",
+                         data_cache=DataCacheModel(miss_rate=0.0)),
+        )
+        all_data = compare(
+            "nasa7",
+            SystemConfig(cache_bytes=1024, memory="burst_eprom",
+                         data_cache=DataCacheModel(miss_rate=1.0)),
+        )
+        assert abs(all_data.relative_execution_time - 1) < abs(
+            no_data.relative_execution_time - 1
+        )
+
+    def test_compression_ratio_reported(self):
+        report = compare("espresso", SystemConfig())
+        assert 0.5 < report.compression_ratio < 1.0
+
+
+class TestProgramStudy:
+    def test_cache_stats_cached(self):
+        study = ProgramStudy("eightq")
+        assert study.cache_stats(256) is study.cache_stats(256)
+
+    def test_clb_monotonic_in_entries(self):
+        study = ProgramStudy("espresso")
+        misses = [study.clb_miss_count(256, entries) for entries in (4, 8, 16)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_refill_engine_cached_per_memory(self):
+        study = ProgramStudy("eightq")
+        decoder = DecoderModel()
+        assert study.refill_engine("eprom", decoder) is study.refill_engine("eprom", decoder)
+        assert study.refill_engine("eprom", decoder) is not study.refill_engine(
+            "burst_eprom", decoder
+        )
+
+    def test_metrics_consistent_with_compare(self):
+        study = ProgramStudy("eightq")
+        config = SystemConfig(cache_bytes=512, memory="eprom")
+        direct = study.metrics(config)
+        cached = compare("eightq", config)
+        assert direct.relative_execution_time == pytest.approx(
+            cached.relative_execution_time
+        )
+
+    def test_custom_code_accepted(self):
+        from repro.compression.histogram import byte_histogram
+        from repro.compression.huffman import HuffmanCode
+        from repro.workloads import load
+
+        text = load("eightq").text
+        code = HuffmanCode.from_frequencies(
+            byte_histogram(text), max_length=16, cover_all_symbols=True
+        )
+        study = ProgramStudy("eightq", code=code)
+        report = study.metrics(SystemConfig(cache_bytes=256))
+        # A per-program code compresses at least as well as the corpus code.
+        assert report.compression_ratio <= ProgramStudy("eightq").metrics(
+            SystemConfig(cache_bytes=256)
+        ).compression_ratio + 0.02
+
+    def test_word_alignment_increases_traffic(self):
+        byte_aligned = ProgramStudy("espresso", block_alignment=1)
+        word_aligned = ProgramStudy("espresso", block_alignment=4)
+        config = SystemConfig(cache_bytes=512, memory="eprom")
+        assert (
+            word_aligned.metrics(config.with_options(block_alignment=4)).compression_ratio
+            >= byte_aligned.metrics(config).compression_ratio
+        )

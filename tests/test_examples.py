@@ -1,0 +1,57 @@
+"""The shipped examples must actually run (deliverable guard).
+
+Each example is executed in-process with its module namespace isolated,
+so a refactor that breaks the public API surface the examples use fails
+the suite, not the first user.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["eightq"]),
+    ("compression_explorer.py", []),
+    ("design_space.py", ["eightq"]),
+    ("custom_program.py", []),
+    ("paging_and_profiling.py", ["eightq"]),
+]
+
+
+@pytest.mark.parametrize("script, args", EXAMPLES, ids=lambda value: str(value))
+def test_example_runs(script, args, capsys, monkeypatch):
+    if not isinstance(script, str) or not script.endswith(".py"):
+        pytest.skip("id param")
+    path = EXAMPLES_DIR / script
+    monkeypatch.setattr(sys, "argv", [str(path), *args])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_comparison(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "eightq"])
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "T_CCRP/T_std" in out
+    assert "compressed image" in out
+
+
+def test_custom_program_verifies_sieve(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["custom_program.py"])
+    runpy.run_path(str(EXAMPLES_DIR / "custom_program.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "168 primes" in out
+    assert "verified" in out
+
+
+def test_example_rejects_unknown_workload(monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py", "doom"])
+    with pytest.raises(SystemExit):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")

@@ -1,0 +1,218 @@
+"""Tests for instruction encoding and decoding round trips."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError
+from repro.isa import SPECS, Instruction, decode, encode
+from repro.isa.encoding import encode_bytes, encode_program
+from repro.isa.decoding import decode_program
+from repro.isa.instruction import NOP
+from repro.isa.opcodes import Category, InstructionFormat
+
+
+class TestKnownEncodings:
+    """Spot-check encodings against hand-computed MIPS reference values."""
+
+    @pytest.mark.parametrize(
+        "instruction, expected",
+        [
+            (Instruction.make("addu", rd=2, rs=4, rt=5), 0x00851021),
+            (Instruction.make("add", rd=8, rs=9, rt=10), 0x012A4020),
+            (Instruction.make("sll", rd=9, rt=10, shamt=4), 0x000A4900),
+            (Instruction.make("jr", rs=31), 0x03E00008),
+            (Instruction.make("syscall"), 0x0000000C),
+            (Instruction.make("addiu", rt=8, rs=0, imm=1), 0x24080001),
+            (Instruction.make("addi", rt=8, rs=8, imm=-1), 0x2108FFFF),
+            (Instruction.make("lui", rt=1, imm=0x1001), 0x3C011001),
+            (Instruction.make("lw", rt=8, rs=29, imm=4), 0x8FA80004),
+            (Instruction.make("sw", rt=8, rs=29, imm=-4), 0xAFA8FFFC),
+            (Instruction.make("beq", rs=8, rt=9, imm=3), 0x11090003),
+            (Instruction.make("bne", rs=8, rt=0, imm=-2), 0x1500FFFE),
+            (Instruction.make("j", target=0x100), 0x08000100),
+            (Instruction.make("jal", target=0x100), 0x0C000100),
+            (Instruction.make("bltz", rs=8, imm=1), 0x05000001),
+            (Instruction.make("bgez", rs=8, imm=1), 0x05010001),
+            (Instruction.make("mult", rs=8, rt=9), 0x01090018),
+            (Instruction.make("mflo", rd=8), 0x00004012),
+            (Instruction.make("lwc1", rt=4, rs=8, imm=8), 0xC5040008),
+            (Instruction.make("swc1", rt=4, rs=8, imm=8), 0xE5040008),
+        ],
+    )
+    def test_matches_reference_encoding(self, instruction, expected):
+        assert encode(instruction) == expected
+
+    def test_nop_encodes_to_zero(self):
+        assert encode(NOP) == 0
+
+    def test_fp_add_double_encoding(self):
+        # add.d $f4, $f2, $f0 -> 0x46201100 | fd=4<<6 -> check fields.
+        word = encode(Instruction.make("add.d", shamt=4, rd=2, rt=0))
+        assert word >> 26 == 0x11
+        assert (word >> 21) & 0x1F == 0x11  # double fmt
+        assert (word >> 11) & 0x1F == 2  # fs
+        assert (word >> 6) & 0x1F == 4  # fd
+        assert word & 0x3F == 0x00  # add funct
+
+    def test_mfc1_mtc1_differ_only_in_selector(self):
+        mfc1 = encode(Instruction.make("mfc1", rt=8, rd=2))
+        mtc1 = encode(Instruction.make("mtc1", rt=8, rd=2))
+        assert mfc1 ^ mtc1 == (0x04 << 21)
+
+    def test_bc1t_bc1f_condition_bit(self):
+        t = encode(Instruction.make("bc1t", imm=4))
+        f = encode(Instruction.make("bc1f", imm=4))
+        assert t ^ f == 1 << 16
+
+
+class TestRoundTrip:
+    """decode(encode(i)) must reproduce i for every spec."""
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.mnemonic)
+    def test_round_trip_each_mnemonic(self, spec):
+        instruction = _sample_instruction(spec)
+        assert decode(encode(instruction)) == instruction
+
+    @given(st.data())
+    def test_round_trip_random_fields(self, data):
+        spec = data.draw(st.sampled_from(SPECS))
+        instruction = _random_instruction(spec, data)
+        assert decode(encode(instruction)) == instruction
+
+    def test_program_round_trip(self):
+        instructions = [
+            Instruction.make("addiu", rt=8, rs=0, imm=5),
+            Instruction.make("addu", rd=9, rs=8, rt=8),
+            Instruction.make("jr", rs=31),
+            NOP,
+        ]
+        code = encode_program(instructions)
+        assert len(code) == 16
+        assert decode_program(code) == instructions
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(DecodingError):
+            decode(0xFC000000)  # opcode 0x3F
+
+    def test_unknown_funct_raises(self):
+        with pytest.raises(DecodingError):
+            decode(0x0000003F)  # R-type funct 0x3F
+
+    def test_unknown_regimm_selector_raises(self):
+        with pytest.raises(DecodingError):
+            decode(0x041F0000)  # REGIMM rt=0x1f
+
+    def test_unknown_cop1_funct_raises(self):
+        with pytest.raises(DecodingError):
+            decode((0x11 << 26) | (0x10 << 21) | 0x3F)
+
+    def test_out_of_range_word_raises(self):
+        with pytest.raises(DecodingError):
+            decode(1 << 32)
+
+    def test_odd_length_program_raises(self):
+        with pytest.raises(DecodingError):
+            decode_program(b"\x00\x00\x00")
+
+
+class TestInstructionValidation:
+    def test_register_field_out_of_range(self):
+        with pytest.raises(ValueError):
+            Instruction.make("addu", rd=32)
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(ValueError):
+            Instruction.make("addiu", imm=0x10000)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ValueError):
+            Instruction.make("j", target=1 << 26)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(KeyError):
+            Instruction.make("frobnicate")
+
+    def test_imm_signed_and_unsigned_views(self):
+        instruction = Instruction.make("addiu", imm=-1)
+        assert instruction.imm_signed == -1
+        assert instruction.imm_unsigned == 0xFFFF
+
+
+class TestSpecProperties:
+    def test_control_transfer_flags(self):
+        assert Instruction.make("beq").spec.is_control_transfer
+        assert Instruction.make("j").spec.is_control_transfer
+        assert Instruction.make("jalr", rd=31, rs=2).spec.is_control_transfer
+        assert not Instruction.make("addu").spec.is_control_transfer
+
+    def test_fp_flags(self):
+        assert Instruction.make("add.d").spec.is_fp
+        assert Instruction.make("lwc1").spec.is_fp
+        assert not Instruction.make("lw").spec.is_fp
+
+    def test_all_mnemonics_unique(self):
+        mnemonics = [spec.mnemonic for spec in SPECS]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_encode_bytes_big_endian(self):
+        assert encode_bytes(Instruction.make("lui", rt=1, imm=0x1001)) == b"\x3c\x01\x10\x01"
+
+
+def _sample_instruction(spec) -> Instruction:
+    """A representative instruction for ``spec`` with distinct field values."""
+    return _build_for(spec, rs=3, rt=7, rd=9, shamt=5, imm=-4, target=0x2040)
+
+
+def _random_instruction(spec, data) -> Instruction:
+    return _build_for(
+        spec,
+        rs=data.draw(st.integers(0, 31)),
+        rt=data.draw(st.integers(0, 31)),
+        rd=data.draw(st.integers(0, 31)),
+        shamt=data.draw(st.integers(0, 31)),
+        imm=data.draw(st.integers(-0x8000, 0x7FFF)),
+        target=data.draw(st.integers(0, (1 << 26) - 1)),
+    )
+
+
+def _build_for(spec, rs, rt, rd, shamt, imm, target) -> Instruction:
+    """Populate only the fields ``spec``'s operand signature uses."""
+    signature = spec.operands
+    fields: dict[str, int] = {}
+    if spec.format is InstructionFormat.J:
+        fields["target"] = target
+    if "rel" in signature or "imm" in signature or "off" in signature:
+        fields["imm"] = imm
+    if signature in ("rd,rs,rt", "rd,rt,rs"):
+        fields.update(rd=rd, rs=rs, rt=rt)
+    elif signature == "rd,rt,sha":
+        fields.update(rd=rd, rt=rt, shamt=shamt)
+    elif signature == "rs" or signature == "rs,rel":
+        fields.update(rs=rs)
+    elif signature == "rd,rs":
+        fields.update(rd=rd, rs=rs)
+    elif signature == "rd":
+        fields.update(rd=rd)
+    elif signature == "rs,rt" or signature == "rs,rt,rel":
+        fields.update(rs=rs, rt=rt)
+    elif signature in ("rt,rs,imm", "rt,rs,uimm"):
+        fields.update(rt=rt, rs=rs)
+    elif signature == "rt,uimm":
+        fields.update(rt=rt)
+    elif signature in ("rt,off(rs)", "ft,off(rs)"):
+        fields.update(rt=rt, rs=rs)
+    elif signature == "fd,fs,ft":
+        fields.update(shamt=shamt, rd=rd, rt=rt)
+    elif signature == "fd,fs":
+        fields.update(shamt=shamt, rd=rd)
+    elif signature == "fs,ft":
+        fields.update(rd=rd, rt=rt)
+    elif signature == "rt,fs":
+        fields.update(rt=rt, rd=rd)
+    if "uimm" in signature:
+        fields["imm"] = abs(fields.get("imm", 0))
+    return Instruction(spec, **fields)

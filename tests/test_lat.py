@@ -1,0 +1,173 @@
+"""Tests for Line Address Table entries and the full table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LATError
+from repro.compression.block import BlockCompressor
+from repro.compression.histogram import byte_histogram
+from repro.compression.huffman import HuffmanCode
+from repro.lat.entry import (
+    ENTRY_BYTES,
+    LINES_PER_ENTRY,
+    LATEntry,
+    UNCOMPRESSED_BYTES,
+)
+from repro.lat.table import LineAddressTable
+
+
+def make_entry(base=0x1000, lengths=(10, 20, 32, 5, 31, 1, 12, 8)) -> LATEntry:
+    return LATEntry(base=base, lengths=tuple(lengths))
+
+
+class TestLATEntry:
+    def test_encode_is_eight_bytes(self):
+        assert len(make_entry().encode()) == ENTRY_BYTES
+
+    def test_encode_decode_round_trip(self):
+        entry = make_entry()
+        assert LATEntry.decode(entry.encode()) == entry
+
+    def test_base_occupies_first_three_bytes(self):
+        raw = make_entry(base=0xABCDEF).encode()
+        assert raw[:3] == b"\xab\xcd\xef"
+
+    def test_uncompressed_encodes_as_zero(self):
+        entry = make_entry(lengths=(32,) * 8)
+        packed = int.from_bytes(entry.encode()[3:], "big")
+        assert packed == 0
+
+    def test_block_address_sums_preceding_lengths(self):
+        entry = make_entry(base=100, lengths=(10, 20, 32, 5, 31, 1, 12, 8))
+        assert entry.block_address(0) == 100
+        assert entry.block_address(1) == 110
+        assert entry.block_address(2) == 130
+        assert entry.block_address(3) == 162  # 32-byte raw block counted fully
+        assert entry.block_address(7) == 100 + 10 + 20 + 32 + 5 + 31 + 1 + 12
+
+    def test_block_size_and_compressed_flag(self):
+        entry = make_entry(lengths=(10, 32, 31, 1, 2, 3, 4, 5))
+        assert entry.block_size(0) == 10
+        assert entry.is_compressed(0)
+        assert entry.block_size(1) == UNCOMPRESSED_BYTES
+        assert not entry.is_compressed(1)
+
+    def test_group_bytes(self):
+        entry = make_entry(lengths=(1,) * 8)
+        assert entry.group_bytes == 8
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(LATError):
+            make_entry(base=1 << 24)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(LATError):
+            make_entry(lengths=(0, 1, 2, 3, 4, 5, 6, 7))
+        with pytest.raises(LATError):
+            make_entry(lengths=(33, 1, 2, 3, 4, 5, 6, 7))
+
+    def test_wrong_length_count_rejected(self):
+        with pytest.raises(LATError):
+            LATEntry(base=0, lengths=(1, 2, 3))
+
+    def test_slot_bounds_checked(self):
+        entry = make_entry()
+        with pytest.raises(LATError):
+            entry.block_address(8)
+        with pytest.raises(LATError):
+            entry.block_size(-1)
+
+    def test_decode_wrong_size_rejected(self):
+        with pytest.raises(LATError):
+            LATEntry.decode(b"\x00" * 7)
+
+    @given(
+        st.integers(0, (1 << 24) - 1),
+        st.lists(st.integers(1, 32), min_size=8, max_size=8),
+    )
+    def test_property_round_trip(self, base, lengths):
+        entry = LATEntry(base=base, lengths=tuple(lengths))
+        assert LATEntry.decode(entry.encode()) == entry
+
+
+def _compress(data: bytes, code_base: int = 0x100):
+    code = HuffmanCode.from_frequencies(
+        byte_histogram(data), max_length=16, cover_all_symbols=True
+    )
+    blocks = BlockCompressor(code).compress_program(data)
+    return blocks, LineAddressTable(blocks, code_base=code_base)
+
+
+class TestLineAddressTable:
+    def test_entry_count(self):
+        blocks, lat = _compress(bytes(20 * 32))  # 20 lines -> 3 entries
+        assert len(lat.entries) == 3
+        assert lat.storage_bytes == 24
+
+    def test_overhead_is_3_125_percent_for_full_groups(self):
+        blocks, lat = _compress(bytes(64 * 32))
+        assert lat.overhead_ratio() == pytest.approx(8 / 256)
+
+    def test_naive_overhead_is_12_5_percent(self):
+        blocks, lat = _compress(bytes(64 * 32))
+        assert lat.naive_overhead_bytes / (64 * 32) == pytest.approx(4 / 32)
+
+    def test_locate_matches_layout(self):
+        rng = random.Random(20)
+        data = bytes(rng.choices(range(48), k=40 * 32))
+        blocks, lat = _compress(data, code_base=0x2000)
+        expected_address = 0x2000
+        for line_number, block in enumerate(blocks):
+            location = lat.locate(line_number)
+            assert location.address == expected_address
+            assert location.stored_size == block.stored_size
+            assert location.is_compressed == block.is_compressed
+            expected_address += block.stored_size
+
+    def test_locate_out_of_range(self):
+        blocks, lat = _compress(bytes(8 * 32))
+        with pytest.raises(LATError):
+            lat.locate(8)
+        with pytest.raises(LATError):
+            lat.locate(-1)
+
+    def test_entry_index(self):
+        blocks, lat = _compress(bytes(20 * 32))
+        assert lat.entry_index(0) == 0
+        assert lat.entry_index(7) == 0
+        assert lat.entry_index(8) == 1
+
+    def test_serialize_round_trip(self):
+        blocks, lat = _compress(bytes(20 * 32))
+        raw = lat.serialize()
+        assert len(raw) == lat.storage_bytes
+        for index, entry in enumerate(lat.entries):
+            chunk = raw[index * ENTRY_BYTES : (index + 1) * ENTRY_BYTES]
+            assert LineAddressTable.entry_from_memory(chunk) == entry
+
+    def test_partial_tail_group_padded(self):
+        blocks, lat = _compress(bytes(10 * 32))  # 2 lines in last group
+        tail = lat.entries[-1]
+        assert all(
+            length == UNCOMPRESSED_BYTES for length in tail.lengths[2:]
+        )
+
+    def test_entries_chain_addresses(self):
+        rng = random.Random(21)
+        data = bytes(rng.choices(range(64), k=24 * 32))
+        blocks, lat = _compress(data, code_base=0)
+        for previous, current in zip(lat.entries, lat.entries[1:]):
+            assert current.base == previous.base + sum(
+                block.stored_size
+                for block in blocks[
+                    lat.entries.index(previous) * LINES_PER_ENTRY : lat.entries.index(previous) * LINES_PER_ENTRY + LINES_PER_ENTRY
+                ]
+            )
+
+    def test_negative_code_base_rejected(self):
+        with pytest.raises(LATError):
+            LineAddressTable([], code_base=-1)

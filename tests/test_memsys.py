@@ -1,0 +1,77 @@
+"""Tests for the memory timing models (paper Section 4.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsys import (
+    BURST_EPROM,
+    EPROM,
+    MEMORY_MODELS,
+    SC_DRAM,
+    MemoryModel,
+    get_memory_model,
+)
+
+
+class TestPaperTimings:
+    """The paper's headline numbers for an 8-word (32-byte) line refill."""
+
+    def test_eprom_line_refill_is_24_cycles(self):
+        assert EPROM.burst_read_cycles(8) == 24
+
+    def test_burst_eprom_line_refill_is_10_cycles(self):
+        assert BURST_EPROM.burst_read_cycles(8) == 10
+
+    def test_sc_dram_line_refill_is_13_cycles(self):
+        # 4 + 7*1 + 2 precharge
+        assert SC_DRAM.burst_read_cycles(8) == 13
+
+    def test_eprom_single_word_is_3_cycles(self):
+        assert EPROM.burst_read_cycles(1) == 3
+
+    def test_dram_single_word_includes_precharge(self):
+        assert SC_DRAM.burst_read_cycles(1) == 6
+
+    def test_lat_entry_read_costs(self):
+        # Two-word burst: the CLB-miss penalty per memory model.
+        assert EPROM.burst_read_cycles(2) == 6
+        assert BURST_EPROM.burst_read_cycles(2) == 4
+        assert SC_DRAM.burst_read_cycles(2) == 7
+
+
+class TestWordArrivals:
+    def test_eprom_arrivals(self):
+        assert EPROM.word_arrival_times(4) == [3, 6, 9, 12]
+
+    def test_burst_eprom_arrivals(self):
+        assert BURST_EPROM.word_arrival_times(4) == [3, 4, 5, 6]
+
+    def test_dram_arrivals_exclude_precharge(self):
+        assert SC_DRAM.word_arrival_times(3) == [4, 5, 6]
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EPROM.word_arrival_times(0)
+
+
+class TestRegistry:
+    def test_all_three_models_registered(self):
+        assert set(MEMORY_MODELS) == {"eprom", "burst_eprom", "sc_dram"}
+
+    def test_lookup_by_name(self):
+        assert get_memory_model("eprom") is EPROM
+
+    def test_passthrough_instance(self):
+        assert get_memory_model(BURST_EPROM) is BURST_EPROM
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_memory_model("flash")
+
+    def test_invalid_model_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(name="bad", first_word_cycles=0, next_word_cycles=1)
+        with pytest.raises(ConfigurationError):
+            MemoryModel(name="bad", first_word_cycles=1, next_word_cycles=1, post_burst_cycles=-1)

@@ -1,0 +1,117 @@
+"""Tests for the compressed demand-paging extension (paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ccrp.paging import (
+    CompressedPageStore,
+    PagedMemorySimulator,
+)
+from repro.core.standard import standard_code
+from repro.memsys import EPROM, SC_DRAM
+from repro.workloads import load
+
+
+@pytest.fixture(scope="module")
+def store():
+    return CompressedPageStore(load("espresso").text, standard_code())
+
+
+class TestCompressedPageStore:
+    def test_page_count_and_padding(self):
+        store = CompressedPageStore(b"\x00" * 1500, standard_code())
+        assert store.page_count == 2
+        assert store.original_size == 2048
+
+    def test_pages_round_trip(self, store):
+        text = load("espresso").text
+        for index in range(0, store.page_count, 17):
+            page = store.read_page(index)
+            start = index * store.page_bytes
+            expected = text[start : start + store.page_bytes]
+            assert page[: len(expected)] == expected
+
+    def test_storage_reduced(self, store):
+        assert store.compression_ratio < 0.85
+
+    def test_incompressible_page_bypassed(self):
+        import random
+
+        data = bytes(random.Random(50).randbytes(1024))
+        histogram = [0] * 256
+        histogram[0] = 1_000_000
+        from repro.compression.huffman import HuffmanCode
+
+        code = HuffmanCode.from_frequencies(histogram, max_length=16, cover_all_symbols=True)
+        store = CompressedPageStore(data, code)
+        assert not store.pages[0].is_compressed
+        assert store.read_page(0) == data
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressedPageStore(b"\x00" * 64, standard_code(), page_bytes=1000)
+
+
+class TestPagedMemorySimulator:
+    def test_fault_count_basic_lru(self, store):
+        simulator = PagedMemorySimulator(store, frames=2)
+        # Pages 0, 1, 0, 2, 0 with 2 LRU frames:
+        # fault 0 -> [0]; fault 1 -> [0,1]; hit 0 -> [1,0];
+        # fault 2 evicts 1 -> [0,2]; hit 0.
+        addresses = np.array([0, 1024, 0, 2048, 0], dtype=np.uint32)
+        result = simulator.simulate(addresses)
+        assert result.faults == 3
+        assert result.references == 5
+
+    def test_compressed_faults_cheaper_on_slow_memory(self, store):
+        simulator = PagedMemorySimulator(store, frames=4, memory=EPROM)
+        addresses = (np.arange(0, 40_000, 16) % store.original_size).astype(np.uint32)
+        compressed, baseline = simulator.compare(addresses)
+        assert compressed.faults == baseline.faults
+        assert compressed.fault_cycles < baseline.fault_cycles
+        assert compressed.storage_bytes < baseline.storage_bytes
+
+    def test_fast_memory_decode_bound(self, store):
+        """On fast DRAM the expansion rate, not bandwidth, limits faults."""
+        simulator = PagedMemorySimulator(store, frames=4, memory=SC_DRAM)
+        page = next(p for p in store.pages if p.is_compressed)
+        cycles = simulator.fault_cycles_for(page)
+        decode_floor = SC_DRAM.first_word_cycles + store.page_bytes // 2
+        assert cycles == decode_floor  # fetch is faster than decode here
+
+    def test_more_frames_fewer_faults(self, store):
+        rng = np.random.default_rng(9)
+        addresses = (rng.integers(0, store.page_count * 4, size=5000) * 256).astype(
+            np.uint32
+        )
+        faults = [
+            PagedMemorySimulator(store, frames=frames).simulate(addresses).faults
+            for frames in (2, 4, 8, 16)
+        ]
+        assert faults == sorted(faults, reverse=True)
+
+    def test_fault_rate_property(self, store):
+        simulator = PagedMemorySimulator(store, frames=2)
+        result = simulator.simulate(np.array([0], dtype=np.uint32))
+        assert result.fault_rate == 1.0
+        empty = simulator.simulate(np.array([], dtype=np.uint32))
+        assert empty.fault_rate == 0.0
+
+    def test_invalid_frames_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            PagedMemorySimulator(store, frames=0)
+
+    def test_real_trace_end_to_end(self):
+        """Run espresso's real instruction stream through paged memory."""
+        workload = load("espresso")
+        store = CompressedPageStore(workload.text, standard_code())
+        addresses = workload.run().trace.addresses
+        simulator = PagedMemorySimulator(store, frames=16, memory=EPROM)
+        compressed, baseline = simulator.compare(addresses)
+        assert compressed.faults > 0
+        assert compressed.fault_cycles < baseline.fault_cycles
+        saving = 1 - compressed.storage_bytes / baseline.storage_bytes
+        assert saving > 0.15

@@ -1,0 +1,173 @@
+"""Tests for the profiler and the command-line tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Assembler
+from repro.isa.opcodes import Category
+from repro.machine import Machine
+from repro.machine.profile import profile
+from repro.tools import asm as asm_tool
+from repro.tools import compress as compress_tool
+from repro.tools import disasm as disasm_tool
+from repro.tools import run as run_tool
+
+SOURCE = """
+main:
+    li   $t0, 10
+    li   $t1, 0
+    jal  helper
+    nop
+loop:
+    addiu $t1, $t1, 2
+    addiu $t0, $t0, -1
+    bnez $t0, loop
+    nop
+    move $a0, $t1
+    li   $v0, 10
+    syscall
+
+helper:
+    lw   $t2, 0($gp)
+    sw   $t2, 4($gp)
+    jr   $ra
+    nop
+"""
+
+
+@pytest.fixture(scope="module")
+def executed():
+    program = Assembler().assemble(SOURCE)
+    result = Machine(program).run()
+    return program, result
+
+
+class TestProfile:
+    def test_total_matches_execution(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        assert report.instructions_executed == result.instructions_executed
+
+    def test_category_mix_sums_to_one(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        assert sum(report.category_mix.values()) == pytest.approx(1.0)
+
+    def test_procedures_found_and_ordered(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        names = [procedure.name for procedure in report.procedures]
+        assert "main" in names and "helper" in names
+        counts = [p.executed_instructions for p in report.procedures]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_helper_called_once(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        helper = next(p for p in report.procedures if p.name == "helper")
+        assert helper.calls == 1
+        assert helper.executed_instructions == 4
+
+    def test_load_store_fraction(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        assert report.load_store_fraction == pytest.approx(
+            2 / result.instructions_executed
+        )
+
+    def test_hot_instructions_are_loop_body(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        hottest_count = report.hot_instructions[0][2]
+        assert hottest_count == 10  # loop runs ten times
+
+    def test_render(self, executed):
+        program, result = executed
+        text = profile(result, program).render()
+        assert "main" in text and "instruction mix" in text
+
+    def test_mix_fraction_accessor(self, executed):
+        program, result = executed
+        report = profile(result, program)
+        assert report.mix_fraction(Category.ALU) > 0
+        assert report.mix_fraction(Category.FP_ARITH) == 0.0
+
+    def test_workload_profile_smoke(self):
+        from repro.workloads import load
+
+        workload = load("eightq")
+        report = profile(workload.run(), workload.program)
+        names = [procedure.name for procedure in report.procedures]
+        assert "solve" in names
+        solve = next(p for p in report.procedures if p.name == "solve")
+        assert solve.calls > 1000  # the recursion really happened
+
+
+class TestTools:
+    @pytest.fixture()
+    def source_file(self, tmp_path):
+        path = tmp_path / "prog.s"
+        path.write_text(SOURCE)
+        return path
+
+    def test_asm_writes_binary(self, source_file, capsys):
+        output = source_file.with_suffix(".bin")
+        assert asm_tool.main([str(source_file), "-o", str(output), "--listing"]) == 0
+        assert output.stat().st_size % 4 == 0
+        captured = capsys.readouterr().out
+        assert "bytes of text" in captured and "main" in captured
+
+    def test_asm_reports_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("frobnicate $t0\n")
+        assert asm_tool.main([str(bad)]) == 1
+        assert "ccrp-asm" in capsys.readouterr().err
+
+    def test_disasm_round_trip(self, source_file, tmp_path, capsys):
+        binary = tmp_path / "prog.bin"
+        asm_tool.main([str(source_file), "-o", str(binary)])
+        capsys.readouterr()
+        assert disasm_tool.main([str(binary)]) == 0
+        out = capsys.readouterr().out
+        assert "jal" in out and "jr $ra" in out
+
+    def test_disasm_missing_file(self, tmp_path, capsys):
+        assert disasm_tool.main([str(tmp_path / "nope.bin")]) == 1
+
+    def test_run_executes_and_reports(self, source_file, capsys):
+        assert run_tool.main([str(source_file)]) == 0
+        out = capsys.readouterr().out
+        assert "[exit 20;" in out
+
+    def test_run_with_profile(self, source_file, capsys):
+        assert run_tool.main([str(source_file), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction mix" in out
+
+    def test_run_limit_error(self, tmp_path, capsys):
+        spin = tmp_path / "spin.s"
+        spin.write_text("spin: b spin\nnop\n")
+        assert run_tool.main([str(spin), "--max-instructions", "100"]) == 1
+        assert run_tool.main([str(spin), "--max-instructions", "100", "--stop-at-limit"]) == 0
+
+    def test_compress_from_source_with_verify(self, source_file, capsys):
+        assert compress_tool.main([str(source_file), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "total image" in out and "verify         : OK" in out
+
+    def test_compress_writes_image(self, source_file, tmp_path, capsys):
+        image_path = tmp_path / "prog.img"
+        assert compress_tool.main([str(source_file), "-o", str(image_path)]) == 0
+        assert image_path.stat().st_size > 8  # at least one LAT entry
+
+    def test_compress_binary_input(self, source_file, tmp_path, capsys):
+        binary = tmp_path / "prog.bin"
+        asm_tool.main([str(source_file), "-o", str(binary)])
+        capsys.readouterr()
+        assert compress_tool.main([str(binary), "--verify"]) == 0
+
+    def test_compress_rejects_unaligned(self, tmp_path, capsys):
+        ragged = tmp_path / "ragged.bin"
+        ragged.write_bytes(b"\x00" * 33)
+        assert compress_tool.main([str(ragged)]) == 1

@@ -1,0 +1,104 @@
+"""Golden-value regression pins.
+
+Every workload, trace, and model in this library is deterministic, so the
+headline experiment numbers can be pinned exactly.  If a change moves one
+of these values, that is not necessarily a bug — but it *is* a change to
+the reproduction's published numbers (EXPERIMENTS.md), and this test makes
+it impossible to do silently.  Update the constants and EXPERIMENTS.md
+together, deliberately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SystemConfig, compare
+from repro.workloads import load
+
+#: (program, memory, cache_bytes) -> expected relative execution time.
+PINNED_RELATIVE_TIME = {
+    ("nasa7", "eprom", 256): 0.952,
+    ("nasa7", "burst_eprom", 256): 1.191,
+    ("espresso", "eprom", 256): 0.955,
+    ("espresso", "burst_eprom", 256): 1.358,
+    ("espresso", "burst_eprom", 4096): 1.208,
+    ("eightq", "eprom", 256): 0.892,
+    ("eightq", "burst_eprom", 256): 1.285,
+    ("fpppp", "eprom", 1024): 0.978,
+    ("fpppp", "burst_eprom", 2048): 1.001,
+}
+
+#: (program, cache_bytes) -> expected miss rate (percent, 2 dp).
+PINNED_MISS_RATE = {
+    ("nasa7", 256): 10.33,
+    ("espresso", 256): 13.02,
+    ("espresso", 4096): 5.71,
+    ("fpppp", 1024): 11.67,
+    ("fpppp", 2048): 0.05,
+    ("eightq", 256): 6.42,
+    ("lloop01", 256): 0.00,
+}
+
+#: Dynamic instruction counts of the executable suite.
+PINNED_DYNAMIC_COUNTS = {
+    "eightq": 614_917,
+    "matrix25a": 138_440,
+    "lloop01": 464_842,
+}
+
+#: Exit codes proving the algorithms really ran.
+PINNED_EXIT_CODES = {
+    "eightq": 92,
+    "fib": 6765,
+    "qsort": 255,
+}
+
+
+@pytest.mark.parametrize(
+    "key, expected", sorted(PINNED_RELATIVE_TIME.items()), ids=lambda v: str(v)
+)
+def test_relative_time_pinned(key, expected):
+    if not isinstance(key, tuple):
+        pytest.skip("id param")
+    program, memory, cache_bytes = key
+    report = compare(program, SystemConfig(cache_bytes=cache_bytes, memory=memory))
+    assert report.relative_execution_time == pytest.approx(expected, abs=5e-4)
+
+
+@pytest.mark.parametrize(
+    "key, expected", sorted(PINNED_MISS_RATE.items()), ids=lambda v: str(v)
+)
+def test_miss_rate_pinned(key, expected):
+    if not isinstance(key, tuple):
+        pytest.skip("id param")
+    program, cache_bytes = key
+    report = compare(program, SystemConfig(cache_bytes=cache_bytes, memory="eprom"))
+    assert round(100 * report.miss_rate, 2) == pytest.approx(expected, abs=0.005)
+
+
+@pytest.mark.parametrize("name, expected", sorted(PINNED_DYNAMIC_COUNTS.items()))
+def test_dynamic_counts_pinned(name, expected):
+    assert load(name).run().instructions_executed == expected
+
+
+@pytest.mark.parametrize("name, expected", sorted(PINNED_EXIT_CODES.items()))
+def test_exit_codes_pinned(name, expected):
+    assert load(name).run().exit_code == expected
+
+
+def test_figure5_weighted_averages_pinned():
+    from repro.experiments.figure5 import run_figure5
+
+    weighted = run_figure5().weighted
+    assert weighted.unix_compress == pytest.approx(0.510, abs=0.002)
+    assert weighted.traditional_huffman == pytest.approx(0.733, abs=0.002)
+    assert weighted.preselected_huffman == pytest.approx(0.734, abs=0.002)
+
+
+def test_standard_code_fingerprint():
+    """The hard-wired decoder's code table must never drift silently."""
+    from repro.core.standard import standard_code
+
+    code = standard_code()
+    assert code.lengths[0x00] == 2  # the zero byte dominates RISC code
+    assert sum(code.lengths) == 2588

@@ -1,0 +1,70 @@
+"""Tests for the experiment CLI runner and the JSON/text export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_result, result_to_dict
+from repro.experiments.runner import main
+
+
+class TestExport:
+    def test_dataclass_tree_serialises(self):
+        from repro.experiments.figure5 import CompressionRow, Figure5Result
+
+        row = CompressionRow(
+            program="x",
+            original_bytes=100,
+            unix_compress=0.5,
+            traditional_huffman=0.7,
+            bounded_huffman=0.7,
+            preselected_huffman=0.72,
+        )
+        result = Figure5Result(rows=(row,), weighted=row)
+        data = result_to_dict(result)
+        assert data["rows"][0]["program"] == "x"
+        assert data["weighted"]["unix_compress"] == 0.5
+
+    def test_dict_keys_stringified(self):
+        from repro.experiments.tables9_10 import CLBRow
+
+        row = CLBRow(
+            program="p", memory="eprom", cache_bytes=256,
+            relative_performance={16: 1.0, 8: 1.01},
+        )
+        data = result_to_dict(row)
+        assert data["relative_performance"] == {"16": 1.0, "8": 1.01}
+
+    def test_numpy_scalars_handled(self):
+        import numpy as np
+
+        assert result_to_dict(np.float64(1.5)) == 1.5
+        assert result_to_dict([np.int64(3)]) == [3]
+
+    def test_export_writes_both_files(self, tmp_path):
+        from repro.experiments.dense_isa import run_dense_isa
+
+        result = run_dense_isa(programs=("eightq",))
+        json_path, text_path = export_result(result, "dense-isa", tmp_path)
+        payload = json.loads(json_path.read_text())
+        assert payload["rows"][0]["program"] == "eightq"
+        assert "Dense ISA" in text_path.read_text()
+
+
+class TestRunnerCLI:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["dense-isa"]) == 0
+        out = capsys.readouterr().out
+        assert "Dense-ISA alternative" in out
+        assert "completed in" in out
+
+    def test_output_dir(self, tmp_path, capsys):
+        assert main(["dense-isa", "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "dense-isa.json").exists()
+        assert (tmp_path / "dense-isa.txt").exists()
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure42"])

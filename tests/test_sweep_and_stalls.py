@@ -1,0 +1,170 @@
+"""Tests for the sweep API and the precise HI/LO stall model."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.core import SystemConfig, compare
+from repro.core.sweep import CSV_COLUMNS, sweep, sweep_many
+from repro.isa import Assembler
+from repro.machine import Machine
+from repro.machine.stalls import PreciseHiLoModel, R2000_STALLS, StallModel
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep("eightq", cache_sizes=(256, 512), memories=("eprom", "burst_eprom"))
+
+    def test_cross_product_size(self, result):
+        assert len(result) == 4
+
+    def test_matches_compare(self, result):
+        direct = compare("eightq", SystemConfig(cache_bytes=256, memory="eprom"))
+        swept = result.filter(memory="eprom", cache_bytes=256).reports[0]
+        assert swept.relative_execution_time == pytest.approx(
+            direct.relative_execution_time
+        )
+
+    def test_filter(self, result):
+        eprom = result.filter(memory="eprom")
+        assert len(eprom) == 2
+        assert all(report.memory == "eprom" for report in eprom.reports)
+
+    def test_best_and_worst(self, result):
+        assert result.best().relative_execution_time <= result.worst().relative_execution_time
+        # For eightq the best point is the EPROM small-cache win.
+        assert result.best().memory == "eprom"
+
+    def test_best_of_empty_raises(self, result):
+        with pytest.raises(ValueError):
+            result.filter(memory="flash").best()
+
+    def test_rows_schema(self, result):
+        rows = result.rows()
+        assert set(rows[0]) == set(CSV_COLUMNS)
+
+    def test_to_csv(self, result, tmp_path):
+        path = result.to_csv(tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result)
+        assert float(rows[0]["relative_execution_time"]) > 0
+
+    def test_sweep_many_concatenates(self):
+        result = sweep_many(
+            ("eightq", "lloop01"), cache_sizes=(256,), memories=("eprom",)
+        )
+        assert {report.program for report in result.reports} == {"eightq", "lloop01"}
+
+    def test_clb_and_data_axes(self):
+        result = sweep(
+            "eightq",
+            cache_sizes=(256,),
+            memories=("eprom",),
+            clb_entries=(4, 16),
+            data_miss_rates=(0.0, 1.0),
+        )
+        assert len(result) == 4
+        assert {report.clb_entries for report in result.reports} == {4, 16}
+        assert {report.data_cache_miss_rate for report in result.reports} == {0.0, 1.0}
+
+
+def run_program(source: str):
+    program = Assembler().assemble(source)
+    result = Machine(program).run()
+    return program, result
+
+
+class TestPreciseHiLoModel:
+    def test_immediate_read_charges_full_latency(self):
+        program, result = run_program(
+            "main: li $t0, 3\nli $t1, 4\nmult $t0, $t1\nmflo $t2\nli $v0, 10\nsyscall"
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        # mflo is 1 slot after mult: stall = 12 - 1 = 11.
+        assert precise == 11
+
+    def test_distant_read_absorbs_latency(self):
+        filler = "\n".join(["addu $t3, $t3, $t0"] * 20)
+        program, result = run_program(
+            f"main: li $t0, 3\nli $t1, 4\nmult $t0, $t1\n{filler}\nmflo $t2\nli $v0, 10\nsyscall"
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        assert precise == 0  # 20 independent instructions hide 12 cycles
+
+    def test_partial_overlap(self):
+        filler = "\n".join(["addu $t3, $t3, $t0"] * 5)
+        program, result = run_program(
+            f"main: li $t0, 3\nli $t1, 4\nmult $t0, $t1\n{filler}\nmflo $t2\nli $v0, 10\nsyscall"
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        assert precise == 12 - 6  # read six slots after issue
+
+    def test_divide_latency(self):
+        program, result = run_program(
+            "main: li $t0, 9\nli $t1, 2\ndiv $t0, $t1\nmflo $t2\nli $v0, 10\nsyscall"
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        assert precise == 34
+
+    def test_unread_result_costs_nothing(self):
+        program, result = run_program(
+            "main: li $t0, 3\nmult $t0, $t0\nli $v0, 10\nsyscall"
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        assert precise == 0
+
+    def test_never_exceeds_flat_model(self):
+        """The flat model is a strict upper bound on HI/LO stalls."""
+        from repro.workloads import load
+
+        for name in ("tomcatv", "eightq", "qsort"):
+            workload = load(name)
+            result = workload.run()
+            flat = R2000_STALLS.stall_cycles(
+                result.trace.instruction_indices, workload.program.instructions
+            )
+            precise = PreciseHiLoModel().stall_cycles(
+                result.trace.instruction_indices, workload.program.instructions
+            )
+            assert precise <= flat
+
+    def test_fp_latencies_still_charged(self):
+        program, result = run_program(
+            """
+            main:
+                mtc1 $zero, $f0
+                mtc1 $zero, $f1
+                add.d $f2, $f0, $f0
+                li $v0, 10
+                syscall
+            """
+        )
+        precise = PreciseHiLoModel().stall_cycles(
+            result.trace.instruction_indices, program.instructions
+        )
+        assert precise == 1  # add.d flat extra
+
+    def test_custom_flat_model_override(self):
+        model = StallModel(extra_cycles={"mult": 5})
+        program, result = run_program(
+            "main: li $t0, 3\nmult $t0, $t0\nli $v0, 10\nsyscall"
+        )
+        assert (
+            model.stall_cycles(result.trace.instruction_indices, program.instructions)
+            == 5
+        )

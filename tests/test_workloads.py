@@ -1,0 +1,205 @@
+"""Tests for the workload suite and the synthetic code generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa import Assembler
+from repro.isa.decoding import decode_program
+from repro.machine import Machine
+from repro.workloads import (
+    FIGURE5_PROGRAMS,
+    SIMULATION_PROGRAMS,
+    load,
+    load_figure5_corpus,
+)
+from repro.workloads.codegen import (
+    CodeGenerator,
+    FP_PERSONALITY,
+    FPPPP_PERSONALITY,
+    INTEGER_PERSONALITY,
+)
+from repro.workloads.kernels.livermore import expected_exit
+from repro.workloads.kernels.matrix import expected_checksum
+from repro.workloads.rng import rng_for, seed_for, weighted_choice
+from repro.workloads.suite import available_workloads
+
+
+class TestRng:
+    def test_seed_is_stable(self):
+        assert seed_for("espresso") == seed_for("espresso")
+
+    def test_seed_differs_across_names(self):
+        assert seed_for("espresso") != seed_for("spim")
+
+    def test_rng_reproducible(self):
+        assert rng_for("x").random() == rng_for("x").random()
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = rng_for("w")
+        weights = {"a": 0.0, "b": 1.0}
+        assert all(weighted_choice(rng, weights) == "b" for _ in range(50))
+
+
+class TestCodeGenerator:
+    def test_static_program_exact_size(self):
+        source = CodeGenerator("gen-test").static_program(8192)
+        program = Assembler().assemble(source)
+        assert program.size == 8192
+
+    def test_static_program_decodes_entirely(self):
+        source = CodeGenerator("gen-test2").static_program(4096)
+        program = Assembler().assemble(source)
+        decode_program(program.text)  # every word must be a valid instruction
+
+    def test_deterministic_output(self):
+        first = CodeGenerator("same-seed").static_program(2048)
+        second = CodeGenerator("same-seed").static_program(2048)
+        assert first == second
+
+    def test_different_names_differ(self):
+        a = CodeGenerator("name-a").static_program(2048)
+        b = CodeGenerator("name-b").static_program(2048)
+        assert a != b
+
+    def test_personalities_change_instruction_mix(self):
+        integer = Assembler().assemble(CodeGenerator("mix", INTEGER_PERSONALITY).static_program(16384))
+        fp = Assembler().assemble(CodeGenerator("mix", FP_PERSONALITY).static_program(16384))
+        fp_count = lambda prog: sum(  # noqa: E731
+            1 for i in prog.instructions if i.spec.is_fp
+        )
+        assert fp_count(fp) > 2 * fp_count(integer)
+
+    def test_fpppp_personality_floods_constants(self):
+        normal = Assembler().assemble(CodeGenerator("c", INTEGER_PERSONALITY).static_program(16384))
+        wild = Assembler().assemble(CodeGenerator("c", FPPPP_PERSONALITY).static_program(16384))
+        lui_count = lambda prog: sum(  # noqa: E731
+            1 for i in prog.instructions if i.mnemonic == "lui"
+        )
+        assert lui_count(wild) > 2 * lui_count(normal)
+
+    def test_pool_program_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            CodeGenerator("p").pool_program(functions=48)
+
+    def test_pool_program_executes_to_completion(self):
+        source = CodeGenerator("pool-test").pool_program(functions=8, iterations=50)
+        result = Machine(Assembler().assemble(source)).run(max_instructions=1_000_000)
+        assert result.exit_code == 0
+        assert result.instructions_executed > 50
+
+    def test_straightline_program_executes(self):
+        source = CodeGenerator("fp-test", FPPPP_PERSONALITY).straightline_fp_program(
+            block_words=100, iterations=5
+        )
+        result = Machine(Assembler().assemble(source)).run(max_instructions=500_000)
+        assert result.exit_code == 0
+
+    def test_padding_reaches_target(self):
+        source = CodeGenerator("pad-test").pool_program(
+            functions=8, iterations=10, static_pad_bytes=65536
+        )
+        assert Assembler().assemble(source).size == 65536
+
+
+class TestSuite:
+    def test_figure5_corpus_sizes_match_paper(self):
+        corpus = load_figure5_corpus()
+        expected = {
+            "tex": 53172,
+            "pswarp": 61364,
+            "yacc": 49076,
+            "who": 65940,
+            "eightq": 4020,
+            "matrix25a": 36768,  # paper says 36766; word aligned here
+            "lloop01": 4020,
+            "xlisp": 65940,
+            "espresso": 176052,
+            "spim": 147360,
+        }
+        assert {name: len(text) for name, text in corpus.items()} == expected
+
+    def test_corpus_order_matches_figure(self):
+        assert list(load_figure5_corpus()) == list(FIGURE5_PROGRAMS)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load("doom")
+
+    def test_static_workload_refuses_to_run(self):
+        with pytest.raises(ConfigurationError):
+            load("tex").run()
+
+    def test_load_is_cached(self):
+        assert load("eightq") is load("eightq")
+
+    def test_available_workloads_superset(self):
+        names = available_workloads()
+        assert set(FIGURE5_PROGRAMS) <= set(names)
+        assert set(SIMULATION_PROGRAMS) <= set(names)
+
+    @pytest.mark.parametrize("name", SIMULATION_PROGRAMS)
+    def test_simulation_programs_execute(self, name):
+        result = load(name).run()
+        assert result.instructions_executed > 10_000
+        assert len(result.trace) == result.instructions_executed
+
+    def test_eightq_finds_92_solutions(self):
+        assert load("eightq").run().exit_code == 92
+
+    def test_matrix25a_checksum(self):
+        assert load("matrix25a").run().exit_code == expected_checksum() & 0xFFFFFFFF
+
+    def test_lloop01_result(self):
+        assert load("lloop01").run().exit_code == expected_exit() & 0xFFFFFFFF
+
+    def test_fpppp_thrashes_small_caches_and_fits_2k(self):
+        from repro.cache import simulate_trace
+
+        trace = load("fpppp").run().trace.addresses
+        small = simulate_trace(trace, 1024).miss_rate
+        large = simulate_trace(trace, 2048).miss_rate
+        assert small > 0.05
+        assert large < 0.01  # the paper's cliff between 1 KB and 2 KB
+
+    def test_espresso_miss_rate_declines_slowly(self):
+        from repro.cache import simulate_trace
+
+        trace = load("espresso").run().trace.addresses
+        rates = [simulate_trace(trace, size).miss_rate for size in (256, 1024, 4096)]
+        assert rates[0] > rates[1] > rates[2] > 0.01
+
+    def test_traces_stay_inside_text_segment(self):
+        result = load("eightq").run()
+        assert int(result.trace.addresses.max()) < load("eightq").size
+
+
+class TestExtraValidationWorkloads:
+    """Real algorithms with independently computed expected results."""
+
+    def test_qsort_fully_sorts(self):
+        result = load("qsort").run()
+        assert result.exit_code == 255  # all 255 adjacent pairs ordered
+
+    def test_crc32_matches_zlib(self):
+        from repro.workloads.kernels.extra import crc32_expected
+
+        result = load("crc32").run()
+        assert result.exit_code == crc32_expected()
+
+    def test_fib_20(self):
+        result = load("fib").run()
+        assert result.exit_code == 6765
+
+    def test_extras_compress_and_round_trip(self):
+        from repro.ccrp import ProgramCompressor
+        from repro.core.standard import standard_code
+
+        compressor = ProgramCompressor(standard_code())
+        for name in ("qsort", "crc32", "fib"):
+            text = load(name).text
+            image = compressor.compress(text)
+            restored = compressor.block_compressor.decompress_program(list(image.blocks))
+            assert restored[: len(text)] == text
+            assert image.compression_ratio < 0.9
