@@ -1,0 +1,137 @@
+"""Benchmark: the experiment harness itself (cache + parallelism).
+
+Unlike the other ``bench_*`` modules, this one measures the *harness*,
+not the paper's results: serial vs ``--jobs N`` wall-clock, and cold vs
+warm artifact-cache wall-clock, each in a fresh subprocess so process
+startup and corpus assembly are charged honestly.  It also verifies that
+the parallel run's exported JSON is byte-identical to the serial run's.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_harness.py
+
+and it writes ``BENCH_harness.json`` next to this repo's other results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Study-driven experiments: they exercise traces, images, miss streams.
+DEFAULT_EXPERIMENTS = ("tables9-10", "figure9")
+
+
+def _run_cli(
+    experiments: tuple[str, ...],
+    cache_dir: Path,
+    output_dir: Path | None = None,
+    jobs: int = 1,
+) -> float:
+    """One ``ccrp-experiments`` subprocess; returns wall seconds."""
+    env = dict(os.environ, CCRP_CACHE_DIR=str(cache_dir))
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, "-m", "repro.experiments", *experiments]
+    if jobs > 1:
+        command += ["--jobs", str(jobs)]
+    if output_dir is not None:
+        command += ["--output-dir", str(output_dir)]
+    started = time.perf_counter()
+    subprocess.run(
+        command, env=env, cwd=REPO_ROOT, stdout=subprocess.DEVNULL, check=True
+    )
+    return time.perf_counter() - started
+
+
+def run_benchmark(
+    experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS, jobs: int = 2
+) -> dict:
+    """Time the four harness modes and check output equivalence."""
+    scratch = Path(tempfile.mkdtemp(prefix="ccrp-bench-"))
+    try:
+        serial_cache = scratch / "serial-cache"
+        parallel_cache = scratch / "parallel-cache"
+        serial_out = scratch / "serial-out"
+        parallel_out = scratch / "parallel-out"
+
+        timings = {
+            "serial_cold_seconds": _run_cli(experiments, serial_cache, serial_out),
+            "serial_warm_seconds": _run_cli(experiments, serial_cache),
+            "parallel_cold_seconds": _run_cli(
+                experiments, parallel_cache, parallel_out, jobs=jobs
+            ),
+            "parallel_warm_seconds": _run_cli(experiments, parallel_cache, jobs=jobs),
+            "single_cold_seconds": _run_cli(
+                experiments[:1], scratch / "single-cache"
+            ),
+            "single_warm_seconds": _run_cli(
+                experiments[:1], scratch / "single-cache"
+            ),
+        }
+
+        identical = all(
+            (serial_out / f"{name}.json").read_bytes()
+            == (parallel_out / f"{name}.json").read_bytes()
+            for name in experiments
+        )
+
+        return {
+            "schema": "ccrp-bench-harness/1",
+            "experiments": list(experiments),
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            **timings,
+            "parallel_cold_speedup": timings["serial_cold_seconds"]
+            / timings["parallel_cold_seconds"],
+            "parallel_warm_speedup": timings["serial_warm_seconds"]
+            / timings["parallel_warm_seconds"],
+            "warm_cache_speedup": timings["single_cold_seconds"]
+            / timings["single_warm_seconds"],
+            "serial_parallel_outputs_identical": identical,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_harness.json",
+        help="where to write the timing record",
+    )
+    parser.add_argument(
+        "--experiments",
+        nargs="+",
+        default=list(DEFAULT_EXPERIMENTS),
+        help="experiments to drive the harness with",
+    )
+    parser.add_argument("--jobs", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(tuple(args.experiments), jobs=args.jobs)
+    args.output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if not record["serial_parallel_outputs_identical"]:
+        print("ERROR: parallel outputs diverged from serial", file=sys.stderr)
+        return 1
+    if record["warm_cache_speedup"] <= 1.0:
+        print("WARNING: warm cache was not faster than cold", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

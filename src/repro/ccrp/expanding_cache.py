@@ -79,9 +79,8 @@ class ExpandingInstructionCache:
 
     def _refill(self, line_number: int) -> bytes:
         image = self.image
+        # line_index raises LATError for lines outside the image.
         block_index = image.line_index(line_number)
-        if not 0 <= block_index < image.line_count:
-            raise ConfigurationError(f"line {line_number} outside the compressed program")
 
         lat_index = block_index // LINES_PER_ENTRY
         self.clb.access(lat_index)  # timing-only; the entry data is the same

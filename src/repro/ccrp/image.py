@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.compression.block import CompressedBlock
 from repro.compression.huffman import HuffmanCode
+from repro.errors import LATError
 from repro.lat.table import LineAddressTable
 
 
@@ -96,8 +97,21 @@ class CompressedImage:
         return len(self.blocks)
 
     def line_index(self, line_number: int) -> int:
-        """Translate an absolute line number to a block index."""
-        return line_number - (self.text_base // self.line_size)
+        """Translate an absolute line number to a block index.
+
+        Raises :class:`~repro.errors.LATError` for lines outside the
+        image — without the check, a line number below ``text_base``
+        would go negative and Python indexing would silently hand back a
+        block from the *end* of the program.
+        """
+        base_line = self.text_base // self.line_size
+        index = line_number - base_line
+        if not 0 <= index < len(self.blocks):
+            raise LATError(
+                f"line {line_number} outside the compressed image "
+                f"(lines {base_line}..{base_line + len(self.blocks) - 1})"
+            )
+        return index
 
     def block_for_line(self, line_number: int) -> CompressedBlock:
         """The compressed block holding absolute line ``line_number``."""

@@ -15,19 +15,27 @@ High-level use::
     print(report.relative_execution_time, report.miss_rate)
 """
 
+from repro.core.artifacts import ArtifactCache, get_cache, get_study, set_cache_enabled
 from repro.core.config import SystemConfig
+from repro.core.metrics import METRICS, MetricsRegistry
 from repro.core.performance import ComparisonReport, SystemMetrics
 from repro.core.standard import standard_code
 from repro.core.study import ProgramStudy, compare
 from repro.core.sweep import SweepResult, sweep, sweep_many
 
 __all__ = [
+    "ArtifactCache",
     "ComparisonReport",
+    "METRICS",
+    "MetricsRegistry",
     "ProgramStudy",
     "SweepResult",
     "SystemConfig",
     "SystemMetrics",
     "compare",
+    "get_cache",
+    "get_study",
+    "set_cache_enabled",
     "standard_code",
     "sweep",
     "sweep_many",

@@ -1,0 +1,284 @@
+"""Content-addressed on-disk cache for expensive simulation artifacts.
+
+A :class:`ProgramStudy` is built from three costly pieces — the execution
+trace, the compressed image, and per-cache-size miss streams.  All of
+them are pure functions of a small key (workload name, text-segment
+fingerprint, Huffman-code fingerprint, block alignment, instruction cap,
+cache geometry), so they are computed once and memoised on disk, keyed by
+the SHA-256 of that key.  A second process — or a ``--jobs N`` worker —
+finds them already materialised.
+
+Layout: ``<cache root>/<format version>/<kind>/<digest>.pkl``, written
+atomically (temp file + ``os.replace``) so concurrent workers can race on
+the same artifact safely: last writer wins, and both wrote identical
+bytes-for-key content anyway.
+
+Escape hatches:
+
+* ``CCRP_CACHE_DIR`` — relocate the cache root (default
+  ``~/.cache/ccrp-repro``);
+* ``CCRP_NO_CACHE=1`` or :func:`set_cache_enabled` (the CLI's
+  ``--no-cache``) — bypass the disk entirely.
+
+This module also owns the bounded in-memory **study cache** behind
+:func:`repro.core.study.compare`, replacing the old module-level dict
+that keyed only on ``(workload, block_alignment)`` — ignoring the
+Huffman code and instruction cap — and grew without bound.  The new key
+is complete, the cache is LRU-bounded, and :func:`clear` resets it for
+tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.metrics import METRICS
+
+#: Environment variable relocating the on-disk cache root.
+ENV_CACHE_DIR = "CCRP_CACHE_DIR"
+
+#: Environment variable disabling the on-disk cache ("1", "true", "yes").
+ENV_NO_CACHE = "CCRP_NO_CACHE"
+
+#: Bump to invalidate every artifact when the pickled formats change.
+FORMAT_VERSION = 1
+
+#: Studies kept by the in-memory LRU used by :func:`get_study`.
+MAX_CACHED_STUDIES = 16
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: Process-wide override; ``None`` defers to ``CCRP_NO_CACHE``.
+_enabled_override: bool | None = None
+
+
+def set_cache_enabled(enabled: bool | None) -> None:
+    """Force the disk cache on/off; ``None`` restores env-var control."""
+    global _enabled_override
+    _enabled_override = enabled
+
+
+def cache_enabled() -> bool:
+    """Whether artifact loads/stores touch the disk right now."""
+    if _enabled_override is not None:
+        return _enabled_override
+    return os.environ.get(ENV_NO_CACHE, "").strip().lower() not in _TRUTHY
+
+
+@contextmanager
+def cache_disabled():
+    """Bypass the disk cache inside the block, restoring the prior state."""
+    global _enabled_override
+    previous = _enabled_override
+    _enabled_override = False
+    try:
+        yield
+    finally:
+        _enabled_override = previous
+
+
+def cache_root() -> Path:
+    """Resolved cache root (honours ``CCRP_CACHE_DIR`` at call time)."""
+    env = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "ccrp-repro"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def fingerprint_bytes(data: bytes) -> str:
+    """Short stable content fingerprint (first 16 hex chars of SHA-256)."""
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def code_fingerprint(code) -> str:
+    """Fingerprint of a canonical Huffman code.
+
+    Canonical codes are fully determined by their 256 code lengths, so
+    hashing the length vector identifies the code.
+    """
+    return fingerprint_bytes(bytes(code.lengths))
+
+
+def _digest(kind: str, key_parts: tuple) -> str:
+    material = "\x1f".join([kind, str(FORMAT_VERSION), *map(str, key_parts)])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The on-disk cache
+# ----------------------------------------------------------------------
+
+
+class ArtifactCache:
+    """Content-addressed pickle store under one root directory.
+
+    Args:
+        root: Cache root; ``None`` resolves :func:`cache_root` per call,
+            so tests can repoint ``CCRP_CACHE_DIR`` between operations.
+    """
+
+    def __init__(self, root: Path | None = None) -> None:
+        self._root = Path(root) if root is not None else None
+
+    @property
+    def root(self) -> Path:
+        return self._root if self._root is not None else cache_root()
+
+    def path_for(self, kind: str, *key_parts) -> Path:
+        """Where the artifact for this key lives (existing or not)."""
+        return self.root / str(FORMAT_VERSION) / kind / f"{_digest(kind, key_parts)}.pkl"
+
+    def load(self, kind: str, *key_parts) -> tuple[bool, Any]:
+        """``(found, value)`` for the key; corrupt entries are evicted."""
+        if not cache_enabled():
+            return False, None
+        path = self.path_for(kind, *key_parts)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # A truncated or stale pickle: drop it and recompute.
+            path.unlink(missing_ok=True)
+            return False, None
+        return True, value
+
+    def store(self, kind: str, value: Any, *key_parts) -> Path | None:
+        """Atomically persist ``value``; returns the path (or ``None``)."""
+        if not cache_enabled():
+            return None
+        path = self.path_for(kind, *key_parts)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        METRICS.count("artifacts.store")
+        return path
+
+    def get_or_compute(self, kind: str, compute: Callable[[], Any], *key_parts) -> Any:
+        """Load the artifact, or compute and persist it.
+
+        Counts ``artifacts.hit`` / ``artifacts.miss`` so cache behaviour
+        shows up in ``--metrics`` dumps.  With the cache disabled this is
+        just ``compute()`` (and counts nothing).
+        """
+        if not cache_enabled():
+            return compute()
+        found, value = self.load(kind, *key_parts)
+        if found:
+            METRICS.count("artifacts.hit")
+            return value
+        METRICS.count("artifacts.miss")
+        value = compute()
+        self.store(kind, value, *key_parts)
+        return value
+
+
+#: The cache every :class:`ProgramStudy` goes through.
+_CACHE = ArtifactCache()
+
+
+def get_cache() -> ArtifactCache:
+    """The process-wide artifact cache."""
+    return _CACHE
+
+
+# ----------------------------------------------------------------------
+# The in-memory study cache (compare()'s backing store)
+# ----------------------------------------------------------------------
+
+_STUDIES: OrderedDict[tuple, object] = OrderedDict()
+
+
+def study_key(
+    workload_name: str,
+    text_fingerprint: str,
+    code,
+    block_alignment: int,
+    max_instructions: int,
+) -> tuple:
+    """The complete identity of one :class:`ProgramStudy`."""
+    return (
+        workload_name,
+        text_fingerprint,
+        code_fingerprint(code),
+        block_alignment,
+        max_instructions,
+    )
+
+
+def get_study(
+    workload,
+    code=None,
+    block_alignment: int = 1,
+    max_instructions: int = 4_000_000,
+):
+    """A (possibly shared) :class:`ProgramStudy` for these parameters.
+
+    Suite workloads named by string share a bounded process-wide LRU;
+    ad-hoc :class:`~repro.workloads.suite.Workload` instances always get
+    a fresh study (their artifacts still hit the disk cache).
+    """
+    from repro.core.standard import standard_code
+    from repro.core.study import ProgramStudy
+    from repro.workloads.suite import load
+
+    if not isinstance(workload, str):
+        return ProgramStudy(
+            workload,
+            code=code,
+            block_alignment=block_alignment,
+            max_instructions=max_instructions,
+        )
+    resolved_code = code if code is not None else standard_code()
+    key = study_key(
+        workload,
+        fingerprint_bytes(load(workload).text),
+        resolved_code,
+        block_alignment,
+        max_instructions,
+    )
+    study = _STUDIES.get(key)
+    if study is not None:
+        _STUDIES.move_to_end(key)
+        METRICS.count("studies.hit")
+        return study
+    METRICS.count("studies.miss")
+    study = ProgramStudy(
+        workload,
+        code=resolved_code,
+        block_alignment=block_alignment,
+        max_instructions=max_instructions,
+    )
+    _STUDIES[key] = study
+    while len(_STUDIES) > MAX_CACHED_STUDIES:
+        _STUDIES.popitem(last=False)
+    return study
+
+
+def clear() -> None:
+    """Empty the in-memory study cache (tests call this between cases)."""
+    _STUDIES.clear()

@@ -1,0 +1,148 @@
+"""Lightweight observability for the experiment harness.
+
+The harness promise is "speedups are measured, not asserted": every
+expensive stage (trace execution, compression, cache simulation, CLB
+simulation, whole experiments) runs inside a named :meth:`MetricsRegistry.stage`
+block, and the artifact cache counts its hits, misses, and stores.  The
+accumulated numbers serialise to a stable JSON schema (``ccrp-metrics/1``)
+via ``ccrp-experiments --metrics out.json``:
+
+::
+
+    {
+      "schema": "ccrp-metrics/1",
+      "stages":   {"study.trace": {"calls": 8, "wall_seconds": ..., "cpu_seconds": ...}},
+      "counters": {"artifacts.hit": 12, "artifacts.miss": 4, "artifacts.store": 4}
+    }
+
+Worker processes report their own snapshots, which the parent folds in
+with :meth:`MetricsRegistry.merge`, so parallel runs are observable too.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Version tag written into every metrics dump.
+SCHEMA = "ccrp-metrics/1"
+
+
+@dataclass
+class StageStats:
+    """Accumulated timings for one named stage."""
+
+    calls: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe collection of stage timers and event counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageStats] = {}
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a block of work under ``name`` (wall clock and CPU)."""
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall_start
+            cpu = time.process_time() - cpu_start
+            with self._lock:
+                stats = self._stages.setdefault(name, StageStats())
+                stats.calls += 1
+                stats.wall_seconds += wall
+                stats.cpu_seconds += cpu
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def stage_stats(self, name: str) -> StageStats:
+        """Accumulated stats for stage ``name`` (zeros if never entered)."""
+        with self._lock:
+            stats = self._stages.get(name)
+            return StageStats() if stats is None else StageStats(
+                calls=stats.calls,
+                wall_seconds=stats.wall_seconds,
+                cpu_seconds=stats.cpu_seconds,
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-able copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "stages": {
+                    name: {
+                        "calls": stats.calls,
+                        "wall_seconds": stats.wall_seconds,
+                        "cpu_seconds": stats.cpu_seconds,
+                    }
+                    for name, stats in sorted(self._stages.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    # ------------------------------------------------------------------
+    # Combining and persisting
+    # ------------------------------------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel runner to aggregate worker-process metrics.
+        """
+        with self._lock:
+            for name, data in snapshot.get("stages", {}).items():
+                stats = self._stages.setdefault(name, StageStats())
+                stats.calls += data.get("calls", 0)
+                stats.wall_seconds += data.get("wall_seconds", 0.0)
+                stats.cpu_seconds += data.get("cpu_seconds", 0.0)
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + value
+
+    def reset(self) -> None:
+        """Drop everything recorded (workers call this per task)."""
+        with self._lock:
+            self._stages.clear()
+            self._counters.clear()
+
+    def write_json(self, path: str | Path, extra: dict | None = None) -> Path:
+        """Write ``{"schema": ..., **extra, **snapshot}`` to ``path``."""
+        path = Path(path)
+        payload: dict = {"schema": SCHEMA}
+        if extra:
+            payload.update(extra)
+        payload.update(self.snapshot())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+#: The process-wide registry every harness component records into.
+METRICS = MetricsRegistry()

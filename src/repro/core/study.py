@@ -16,7 +16,9 @@ from repro.ccrp.clb import CLB
 from repro.ccrp.compressor import ProgramCompressor
 from repro.ccrp.refill import RefillEngine
 from repro.compression.huffman import HuffmanCode
+from repro.core import artifacts
 from repro.core.config import SystemConfig
+from repro.core.metrics import METRICS
 from repro.core.performance import ComparisonReport, SystemMetrics
 from repro.core.standard import standard_code
 from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY
@@ -44,11 +46,34 @@ class ProgramStudy:
     ) -> None:
         self.workload = load(workload) if isinstance(workload, str) else workload
         self.code = code if code is not None else standard_code()
-        self.execution = self.workload.run(max_instructions=max_instructions)
-        compressor = ProgramCompressor(self.code, alignment=block_alignment)
-        self.image = compressor.compress(
-            self.workload.text, text_base=self.workload.program.text_base
-        )
+        self.block_alignment = block_alignment
+        self.max_instructions = max_instructions
+
+        cache = artifacts.get_cache()
+        text_fp = artifacts.fingerprint_bytes(self.workload.text)
+        code_fp = artifacts.code_fingerprint(self.code)
+        # Everything a trace artifact depends on; image/miss-stream keys
+        # extend this with the code and cache geometry respectively.
+        self._trace_key = (self.workload.name, text_fp, max_instructions)
+
+        with METRICS.stage("study.trace"):
+            self.execution = cache.get_or_compute(
+                "trace",
+                lambda: self.workload.run(max_instructions=max_instructions),
+                *self._trace_key,
+            )
+
+        def _compress():
+            compressor = ProgramCompressor(self.code, alignment=block_alignment)
+            return compressor.compress(
+                self.workload.text, text_base=self.workload.program.text_base
+            )
+
+        with METRICS.stage("study.compress"):
+            self.image = cache.get_or_compute(
+                "image", _compress, self.workload.name, text_fp, code_fp, block_alignment
+            )
+
         self._cache_stats: dict[int, CacheStats] = {}
         self._clb_misses: dict[tuple[int, int], int] = {}
         self._engines: dict[str, RefillEngine] = {}
@@ -58,12 +83,19 @@ class ProgramStudy:
     # ------------------------------------------------------------------
 
     def cache_stats(self, cache_bytes: int) -> CacheStats:
-        """Miss statistics for one cache size (cached)."""
+        """Miss statistics for one cache size (memoised and disk-cached)."""
         stats = self._cache_stats.get(cache_bytes)
         if stats is None:
-            stats = simulate_trace(
-                self.execution.trace.addresses, cache_bytes, self.image.line_size
-            )
+            with METRICS.stage("study.cache_sim"):
+                stats = artifacts.get_cache().get_or_compute(
+                    "miss-stream",
+                    lambda: simulate_trace(
+                        self.execution.trace.addresses, cache_bytes, self.image.line_size
+                    ),
+                    *self._trace_key,
+                    cache_bytes,
+                    self.image.line_size,
+                )
             self._cache_stats[cache_bytes] = stats
         return stats
 
@@ -72,9 +104,21 @@ class ProgramStudy:
         key = (cache_bytes, clb_entries)
         count = self._clb_misses.get(key)
         if count is None:
-            miss_lines = self.cache_stats(cache_bytes).miss_lines
-            lat_indices = miss_lines // LINES_PER_ENTRY
-            count = CLB(entries=clb_entries).simulate(lat_indices.tolist())
+            with METRICS.stage("study.clb_sim"):
+                miss_lines = self.cache_stats(cache_bytes).miss_lines
+
+                def _simulate() -> int:
+                    lat_indices = miss_lines // LINES_PER_ENTRY
+                    return CLB(entries=clb_entries).simulate(lat_indices.tolist())
+
+                count = artifacts.get_cache().get_or_compute(
+                    "clb-misses",
+                    _simulate,
+                    *self._trace_key,
+                    cache_bytes,
+                    self.image.line_size,
+                    clb_entries,
+                )
             self._clb_misses[key] = count
         return count
 
@@ -148,19 +192,16 @@ class ProgramStudy:
         return miss_lines - base_line
 
 
-_STUDIES: dict[tuple[str, int], ProgramStudy] = {}
-
-
 def compare(workload: str, config: SystemConfig | None = None) -> ComparisonReport:
     """One-call comparison: workload name + config -> report.
 
-    Studies are cached per (workload, block alignment), so sweeping
-    configurations stays cheap.
+    Studies come from :func:`repro.core.artifacts.get_study`, a bounded
+    LRU keyed on the *complete* study identity (workload, text and code
+    fingerprints, block alignment, instruction cap), so sweeping
+    configurations stays cheap and changing the code or the instruction
+    cap can never return a stale study.  Tests reset it with
+    :func:`repro.core.artifacts.clear`.
     """
     config = config or SystemConfig()
-    key = (workload, config.block_alignment)
-    study = _STUDIES.get(key)
-    if study is None:
-        study = ProgramStudy(workload, block_alignment=config.block_alignment)
-        _STUDIES[key] = study
+    study = artifacts.get_study(workload, block_alignment=config.block_alignment)
     return study.metrics(config)

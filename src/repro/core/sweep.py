@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import csv
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.cache.datacache import DataCacheModel
 from repro.ccrp.decoder import DecoderModel
+from repro.core import artifacts
 from repro.core.config import SystemConfig
 from repro.core.performance import ComparisonReport
 from repro.core.study import ProgramStudy
@@ -93,6 +95,41 @@ class SweepResult:
         return path
 
 
+def _grid(
+    cache_sizes: Sequence[int],
+    memories: Sequence[str],
+    clb_entries: Sequence[int],
+    data_miss_rates: Sequence[float],
+    decoder: DecoderModel,
+) -> list[SystemConfig]:
+    """The cross product, in the fixed memory/cache/CLB/miss-rate order."""
+    return [
+        SystemConfig(
+            cache_bytes=cache_bytes,
+            memory=memory,
+            clb_entries=entries,
+            decoder=decoder,
+            data_cache=DataCacheModel(miss_rate=miss_rate),
+        )
+        for memory in memories
+        for cache_bytes in cache_sizes
+        for entries in clb_entries
+        for miss_rate in data_miss_rates
+    ]
+
+
+def _metrics_chunk(
+    workload: str, configs: Sequence[SystemConfig]
+) -> list[ComparisonReport]:
+    """Worker entry point: study via the shared caches, then the chunk.
+
+    With a warm artifact cache the study pieces load from disk, so the
+    per-worker setup cost is deserialisation, not re-simulation.
+    """
+    study = artifacts.get_study(workload)
+    return [study.metrics(config) for config in configs]
+
+
 def sweep(
     workload: str | Workload,
     cache_sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
@@ -101,6 +138,7 @@ def sweep(
     data_miss_rates: Sequence[float] = (1.0,),
     decoder: DecoderModel | None = None,
     study: ProgramStudy | None = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Run the full cross product of the given parameter axes.
 
@@ -112,31 +150,66 @@ def sweep(
         data_miss_rates: Data-cache miss rates for the analytic model.
         decoder: Decoder model override (defaults to the paper's).
         study: Reuse an existing study (e.g. with a custom code).
+        jobs: Fan grid points across this many worker processes.  Only
+            suite workloads named by string parallelise (an explicit
+            ``study`` cannot cross a process boundary); report order is
+            identical to the serial run.
     """
-    study = study or ProgramStudy(workload)
     decoder = decoder or DecoderModel()
-    reports = []
-    for memory in memories:
-        for cache_bytes in cache_sizes:
-            for entries in clb_entries:
-                for miss_rate in data_miss_rates:
-                    config = SystemConfig(
-                        cache_bytes=cache_bytes,
-                        memory=memory,
-                        clb_entries=entries,
-                        decoder=decoder,
-                        data_cache=DataCacheModel(miss_rate=miss_rate),
-                    )
-                    reports.append(study.metrics(config))
+    configs = _grid(cache_sizes, memories, clb_entries, data_miss_rates, decoder)
+    parallel = (
+        jobs is not None
+        and jobs > 1
+        and study is None
+        and isinstance(workload, str)
+        and len(configs) > 1
+    )
+    if parallel:
+        workers = min(jobs, len(configs))
+        chunks = [configs[index::workers] for index in range(workers)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_metrics_chunk, workload, chunk) for chunk in chunks]
+            by_chunk = [future.result() for future in futures]
+        # Undo the round-robin striping so order matches the serial run.
+        reports = [None] * len(configs)
+        for stripe, chunk_reports in enumerate(by_chunk):
+            for offset, report in enumerate(chunk_reports):
+                reports[stripe + offset * workers] = report
+    else:
+        if study is None:
+            study = (
+                artifacts.get_study(workload)
+                if isinstance(workload, str)
+                else ProgramStudy(workload)
+            )
+        reports = [study.metrics(config) for config in configs]
     return SweepResult(reports=tuple(reports))
+
+
+def _sweep_one(workload: str, axes: dict) -> tuple[ComparisonReport, ...]:
+    """Worker entry point for :func:`sweep_many`."""
+    return sweep(workload, **axes).reports
 
 
 def sweep_many(
     workloads: Iterable[str],
+    jobs: int | None = None,
     **axes,
 ) -> SweepResult:
-    """Sweep several workloads and concatenate the results."""
+    """Sweep several workloads and concatenate the results.
+
+    With ``jobs`` set, whole workloads fan across a process pool (each
+    worker warms up from the shared on-disk artifact cache); results are
+    concatenated in the given workload order, exactly as a serial run.
+    """
+    workloads = list(workloads)
     reports: list[ComparisonReport] = []
-    for workload in workloads:
-        reports.extend(sweep(workload, **axes).reports)
+    if jobs is not None and jobs > 1 and len(workloads) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(workloads))) as pool:
+            futures = [pool.submit(_sweep_one, workload, axes) for workload in workloads]
+            for future in futures:
+                reports.extend(future.result())
+    else:
+        for workload in workloads:
+            reports.extend(sweep(workload, **axes).reports)
     return SweepResult(reports=tuple(reports))

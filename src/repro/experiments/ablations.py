@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.ccrp.decoder import DecoderModel
 from repro.compression.block import BYTE_ALIGNED, WORD_ALIGNED
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import percent, render_table
 
 
@@ -97,8 +97,8 @@ def run_ablations(
     alignment_rows = []
     decoder_rows = []
     for program in programs:
-        byte_study = ProgramStudy(program, block_alignment=BYTE_ALIGNED)
-        word_study = ProgramStudy(program, block_alignment=WORD_ALIGNED)
+        byte_study = get_study(program, block_alignment=BYTE_ALIGNED)
+        word_study = get_study(program, block_alignment=WORD_ALIGNED)
         lat = byte_study.image.lat
         original = byte_study.image.original_size
         lat_rows.append(

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.ccrp.decoder import DecoderModel
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import render_table
 from repro.memsys.models import BURST_EPROM
 
@@ -74,7 +74,7 @@ def run_bus_width(
     """Sweep bus width x decoder rate over the given programs."""
     rows = []
     for program in programs:
-        study = ProgramStudy(program)
+        study = get_study(program)
         for bus_bytes in BUS_WIDTHS:
             memory = BURST_EPROM.with_bus_bytes(bus_bytes)
             relative = {}

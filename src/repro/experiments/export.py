@@ -32,17 +32,27 @@ def result_to_dict(result: object) -> object:
     return str(result)
 
 
+def export_payload(
+    payload: object, rendered: str, name: str, output_dir: Path
+) -> tuple[Path, Path]:
+    """Write an already-serialised result (parallel workers ship these).
+
+    The JSON encoding is the single point all exports go through, so a
+    ``--jobs N`` run produces byte-identical files to a serial one.
+    """
+    output_dir.mkdir(parents=True, exist_ok=True)
+    json_path = output_dir / f"{name}.json"
+    text_path = output_dir / f"{name}.txt"
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    text_path.write_text(rendered + "\n")
+    return json_path, text_path
+
+
 def export_result(result: object, name: str, output_dir: Path) -> tuple[Path, Path]:
     """Write ``<name>.json`` and ``<name>.txt`` under ``output_dir``.
 
     Returns the two paths written.
     """
-    output_dir.mkdir(parents=True, exist_ok=True)
-    json_path = output_dir / f"{name}.json"
-    text_path = output_dir / f"{name}.txt"
-    json_path.write_text(
-        json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n"
-    )
     render = getattr(result, "render", None)
-    text_path.write_text((render() if callable(render) else str(result)) + "\n")
-    return json_path, text_path
+    rendered = render() if callable(render) else str(result)
+    return export_payload(result_to_dict(result), rendered, name, output_dir)

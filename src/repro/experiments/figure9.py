@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import ascii_scatter
 from repro.experiments.tables1_8 import CACHE_SIZES
 from repro.workloads.suite import SIMULATION_PROGRAMS
@@ -88,7 +88,7 @@ def run_figure9(
     """Regenerate the Figure 9 point cloud across all three memories."""
     points = []
     for program in programs:
-        study = ProgramStudy(program)
+        study = get_study(program)
         for memory in MARKERS:
             for cache_bytes in cache_sizes:
                 report = study.metrics(

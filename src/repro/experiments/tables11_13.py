@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from repro.cache.datacache import DataCacheModel
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import percent, render_table
 from repro.experiments.tables1_8 import MEMORY_MODELS
 
@@ -76,7 +76,7 @@ def run_tables11_13(
     """Regenerate Tables 11-13."""
     tables = []
     for number, program in enumerate(programs, start=11):
-        study = ProgramStudy(program)
+        study = get_study(program)
         rows = []
         for memory in MEMORY_MODELS:
             for miss_rate in DATA_MISS_RATES:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import percent, render_table
 from repro.workloads.suite import SIMULATION_PROGRAMS
 
@@ -85,7 +85,7 @@ def run_tables1_8(
     """Regenerate Tables 1-8 (optionally on a subset for quick runs)."""
     tables = []
     for number, program in enumerate(programs, start=1):
-        study = ProgramStudy(program)
+        study = get_study(program)
         memories = list(MEMORY_MODELS)
         if program == DRAM_PROGRAM:
             memories.append("sc_dram")

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import SystemConfig
-from repro.core.study import ProgramStudy
+from repro.core.artifacts import get_study
 from repro.experiments.formats import render_table
 from repro.experiments.tables1_8 import CACHE_SIZES, MEMORY_MODELS
 
@@ -73,7 +73,7 @@ def run_tables9_10(
     """Regenerate Tables 9 and 10."""
     tables = []
     for number, program in enumerate(programs, start=9):
-        study = ProgramStudy(program)
+        study = get_study(program)
         rows = []
         for memory in MEMORY_MODELS:
             for cache_bytes in cache_sizes:

@@ -177,13 +177,26 @@ def _build_source(spec: _Spec) -> str:
 
 @lru_cache(maxsize=None)
 def load(name: str) -> Workload:
-    """Load a workload by suite name (deterministic and cached)."""
+    """Load a workload by suite name (deterministic and cached).
+
+    Assembly dominates a cold process start (the ten-program corpus takes
+    ~2 s), so the assembled image is also memoised in the on-disk
+    artifact cache, content-addressed by the generated source text.
+    """
+    from repro.core import artifacts
+
     spec = _SPECS.get(name)
     if spec is None:
         raise ConfigurationError(
             f"unknown workload {name!r}; choose from {sorted(_SPECS)}"
         )
-    program = Assembler().assemble(_build_source(spec))
+    source = _build_source(spec)
+    program = artifacts.get_cache().get_or_compute(
+        "assembly",
+        lambda: Assembler().assemble(source),
+        name,
+        artifacts.fingerprint_bytes(source.encode()),
+    )
     return Workload(name=name, program=program, executable=spec.executable)
 
 

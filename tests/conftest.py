@@ -1,0 +1,24 @@
+"""Shared test configuration.
+
+The artifact cache is pointed at a per-session temporary directory so
+test runs are hermetic: they never read stale artifacts from (or litter)
+the developer's real ``~/.cache/ccrp-repro``, while still exercising the
+disk-cache code paths exactly as production does.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    previous = os.environ.get("CCRP_CACHE_DIR")
+    os.environ["CCRP_CACHE_DIR"] = str(tmp_path_factory.mktemp("ccrp-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("CCRP_CACHE_DIR", None)
+    else:
+        os.environ["CCRP_CACHE_DIR"] = previous

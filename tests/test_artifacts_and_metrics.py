@@ -1,0 +1,254 @@
+"""Tests for the artifact cache, the study cache, and the metrics layer."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import artifacts
+from repro.core.artifacts import ArtifactCache, get_study
+from repro.core.config import SystemConfig
+from repro.core.metrics import METRICS, MetricsRegistry
+from repro.core.standard import standard_code
+from repro.core.study import ProgramStudy, compare
+from repro.workloads.suite import load
+
+
+@pytest.fixture(autouse=True)
+def _fresh_study_cache():
+    artifacts.clear()
+    yield
+    artifacts.clear()
+
+
+class TestFingerprints:
+    def test_bytes_fingerprint_is_stable_and_content_sensitive(self):
+        assert artifacts.fingerprint_bytes(b"abc") == artifacts.fingerprint_bytes(b"abc")
+        assert artifacts.fingerprint_bytes(b"abc") != artifacts.fingerprint_bytes(b"abd")
+        assert len(artifacts.fingerprint_bytes(b"abc")) == 16
+
+    def test_code_fingerprint_distinguishes_codes(self):
+        bounded = standard_code()
+        shorter = standard_code(max_length=12)
+        assert artifacts.code_fingerprint(bounded) != artifacts.code_fingerprint(shorter)
+        assert artifacts.code_fingerprint(bounded) == artifacts.code_fingerprint(bounded)
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("kind", {"x": 1}, "key", 42)
+        found, value = cache.load("kind", "key", 42)
+        assert found and value == {"x": 1}
+
+    def test_missing_key(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        found, value = cache.load("kind", "nothing")
+        assert not found and value is None
+
+    def test_keys_are_kind_and_part_sensitive(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("a", 1, "k")
+        assert not cache.load("b", "k")[0]
+        assert not cache.load("a", "k", "extra")[0]
+
+    def test_get_or_compute_computes_once(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("kind", compute, "k") == "value"
+        assert cache.get_or_compute("kind", compute, "k") == "value"
+        assert len(calls) == 1
+
+    def test_hit_and_miss_counters(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        hits, misses = METRICS.counter("artifacts.hit"), METRICS.counter("artifacts.miss")
+        cache.get_or_compute("kind", lambda: 1, "counted")
+        assert METRICS.counter("artifacts.miss") == misses + 1
+        cache.get_or_compute("kind", lambda: 1, "counted")
+        assert METRICS.counter("artifacts.hit") == hits + 1
+
+    def test_corrupt_entry_evicted_and_recomputed(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("kind", [1, 2, 3], "k")
+        path = cache.path_for("kind", "k")
+        path.write_bytes(b"not a pickle")
+        assert cache.get_or_compute("kind", lambda: [4], "k") == [4]
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == [4]
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        for index in range(5):
+            cache.store("kind", bytes(1000), "k", index)
+        leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_disabled_cache_never_touches_disk(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        artifacts.set_cache_enabled(False)
+        try:
+            calls = []
+
+            def compute():
+                calls.append(1)
+                return 7
+
+            assert cache.get_or_compute("kind", compute, "k") == 7
+            assert cache.get_or_compute("kind", compute, "k") == 7
+            assert len(calls) == 2
+            assert list(tmp_path.rglob("*.pkl")) == []
+        finally:
+            artifacts.set_cache_enabled(None)
+
+    def test_cache_disabled_context_restores_state(self):
+        before = artifacts.cache_enabled()
+        with artifacts.cache_disabled():
+            assert not artifacts.cache_enabled()
+        assert artifacts.cache_enabled() == before
+
+    def test_env_var_disables(self, monkeypatch):
+        monkeypatch.setenv(artifacts.ENV_NO_CACHE, "1")
+        assert not artifacts.cache_enabled()
+        monkeypatch.setenv(artifacts.ENV_NO_CACHE, "0")
+        assert artifacts.cache_enabled()
+
+    def test_cache_root_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
+        assert artifacts.cache_root() == tmp_path / "elsewhere"
+        assert ArtifactCache().root == tmp_path / "elsewhere"
+
+
+class TestStudyCache:
+    def test_same_parameters_share_a_study(self):
+        first = get_study("eightq", max_instructions=1_000_000)
+        second = get_study("eightq", max_instructions=1_000_000)
+        assert first is second
+
+    def test_key_includes_max_instructions(self):
+        # Regression: the old compare() cache keyed only on
+        # (workload, alignment), so a different instruction cap silently
+        # reused the wrong trace.
+        short = get_study("eightq", max_instructions=1_000_000)
+        long = get_study("eightq", max_instructions=2_000_000)
+        assert short is not long
+        assert short.max_instructions == 1_000_000
+
+    def test_key_includes_code(self):
+        default = get_study("eightq", max_instructions=1_000_000)
+        custom = get_study(
+            "eightq", code=standard_code(max_length=12), max_instructions=1_000_000
+        )
+        assert default is not custom
+
+    def test_key_includes_alignment(self):
+        byte_aligned = get_study("eightq", max_instructions=1_000_000)
+        word_aligned = get_study("eightq", block_alignment=4, max_instructions=1_000_000)
+        assert byte_aligned is not word_aligned
+
+    def test_clear_resets(self):
+        first = get_study("eightq", max_instructions=1_000_000)
+        artifacts.clear()
+        assert get_study("eightq", max_instructions=1_000_000) is not first
+
+    def test_lru_bound_respected(self, monkeypatch):
+        monkeypatch.setattr(artifacts, "MAX_CACHED_STUDIES", 1)
+        first = get_study("eightq", max_instructions=1_000_000)
+        get_study("eightq", max_instructions=3_000_000)  # evicts `first`
+        assert len(artifacts._STUDIES) == 1
+        assert get_study("eightq", max_instructions=1_000_000) is not first
+
+    def test_adhoc_workloads_bypass_the_shared_cache(self):
+        workload = load("eightq")
+        study = get_study(workload, max_instructions=1_000_000)
+        assert isinstance(study, ProgramStudy)
+        assert len(artifacts._STUDIES) == 0
+
+    def test_compare_goes_through_study_cache(self):
+        report = compare("eightq", SystemConfig(cache_bytes=256))
+        again = compare("eightq", SystemConfig(cache_bytes=256))
+        assert report == again
+        assert len(artifacts._STUDIES) == 1
+
+
+class TestStudyArtifacts:
+    def test_disk_artifacts_reproduce_identical_reports(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(tmp_path))
+        config = SystemConfig(cache_bytes=256, memory="eprom")
+        cold = ProgramStudy("eightq", max_instructions=1_000_000)
+        cold_report = cold.metrics(config)
+        stored = list(tmp_path.rglob("*.pkl"))
+        assert stored, "expected trace/image/miss-stream artifacts on disk"
+
+        hits_before = METRICS.counter("artifacts.hit")
+        warm = ProgramStudy("eightq", max_instructions=1_000_000)
+        warm_report = warm.metrics(config)
+        assert METRICS.counter("artifacts.hit") > hits_before
+        assert warm_report == cold_report
+
+    def test_distinct_instruction_caps_get_distinct_artifacts(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(tmp_path))
+        ProgramStudy("eightq", max_instructions=1_000_000)
+        first = len(list(tmp_path.rglob("*.pkl")))
+        ProgramStudy("eightq", max_instructions=2_000_000)
+        # The cap is part of the trace key, so the second study must not
+        # alias the first study's artifacts.
+        assert len(list(tmp_path.rglob("*.pkl"))) > first
+
+
+class TestMetricsRegistry:
+    def test_stage_accumulates(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.stage("work"):
+                pass
+        stats = registry.stage_stats("work")
+        assert stats.calls == 3
+        assert stats.wall_seconds >= 0.0
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.count("events")
+        registry.count("events", 4)
+        assert registry.counter("events") == 5
+        assert registry.counter("never") == 0
+
+    def test_snapshot_and_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        with a.stage("s"):
+            pass
+        a.count("c", 2)
+        with b.stage("s"):
+            pass
+        b.count("c", 3)
+        a.merge(b.snapshot())
+        assert a.stage_stats("s").calls == 2
+        assert a.counter("c") == 5
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.count("c")
+        with registry.stage("s"):
+            pass
+        registry.reset()
+        assert registry.snapshot() == {"stages": {}, "counters": {}}
+
+    def test_write_json_schema(self, tmp_path):
+        import json
+
+        registry = MetricsRegistry()
+        registry.count("c", 9)
+        path = registry.write_json(tmp_path / "m.json", extra={"jobs": 2})
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "ccrp-metrics/1"
+        assert payload["jobs"] == 2
+        assert payload["counters"] == {"c": 9}
+        assert payload["stages"] == {}

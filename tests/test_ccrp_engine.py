@@ -7,7 +7,7 @@ import random
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LATError
 from repro.ccrp import (
     CLB,
     DecoderModel,
@@ -81,6 +81,21 @@ class TestProgramCompressor:
         image = ProgramCompressor(make_code(text)).compress(text, text_base=0x400)
         assert image.line_index(0x400 // 32) == 0
         assert image.line_index(0x400 // 32 + 3) == 3
+
+    def test_line_index_rejects_lines_outside_the_image(self):
+        # Regression: a line below text_base used to go negative and
+        # silently index a block from the END of the program.
+        text = sample_text(lines=8)
+        image = ProgramCompressor(make_code(text)).compress(text, text_base=0x400)
+        base_line = 0x400 // 32
+        with pytest.raises(LATError):
+            image.line_index(base_line - 1)
+        with pytest.raises(LATError):
+            image.line_index(base_line + 8)
+        with pytest.raises(LATError):
+            image.block_for_line(base_line - 1)
+        # The last valid line still resolves.
+        assert image.block_for_line(base_line + 7) is image.blocks[7]
 
 
 class TestCLB:

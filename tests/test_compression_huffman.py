@@ -352,3 +352,64 @@ class TestFastDecoder:
         code = self._random_code(seed)
         blob, _ = code.encode(data)
         assert code.decode_fast(blob, len(data)) == data
+
+    def test_exhaustion_mid_accumulator_matches_reference(self):
+        # A code whose every word is 9 bits: one blob byte leaves 8 bits
+        # in the accumulator — fewer than any code word — so the fast
+        # decoder must fail exactly like the bit-by-bit one, not emit a
+        # phantom symbol from the partial accumulator.
+        code = HuffmanCode.from_lengths([9] * 256)
+        blob, _ = code.encode(bytes([1, 2]))
+        assert code.decode_fast(blob, 2) == bytes([1, 2])
+        with pytest.raises(CompressionError):
+            code.decode_fast(blob[:1], 2)
+        with pytest.raises(CompressionError):
+            code.decode(blob[:1], 2)
+
+    def test_truncated_stream_matches_reference(self):
+        code = self._random_code(63)
+        data = bytes(random.Random(64).randbytes(300))
+        blob, _ = code.encode(data)
+        truncated = blob[: len(blob) // 2]
+        with pytest.raises(CompressionError):
+            code.decode_fast(truncated, len(data))
+        with pytest.raises(CompressionError):
+            code.decode(truncated, len(data))
+
+    def test_max_length_code_words_decode(self):
+        # Exponential frequencies push the least-frequent symbols to the
+        # 16-bit bound; those maximal words must decode through the
+        # long-code fallback identically to the reference decoder.
+        frequencies = [0] * 256
+        for symbol in range(32):
+            frequencies[symbol] = 1 << symbol
+        code = HuffmanCode.from_frequencies(frequencies, max_length=16)
+        assert code.max_length == 16
+        maximal = [symbol for symbol in range(32) if code.lengths[symbol] == 16]
+        assert maximal
+        data = bytes(maximal) * 5 + bytes(range(32)) * 3 + bytes(maximal)
+        blob, _ = code.encode(data)
+        assert code.decode_fast(blob, len(data)) == code.decode(blob, len(data)) == data
+
+    def test_bypass_blocks_skip_the_decoder_entirely(self):
+        # Incompressible lines take the bypass path: stored verbatim with
+        # no symbol timings; compressed lines must still round-trip
+        # through both decoders.
+        from repro.compression.block import BlockCompressor
+
+        code = self._random_code(65)
+        rng = random.Random(66)
+        compressible = bytes(rng.choices(range(8), k=64))
+        incompressible = bytes(rng.randbytes(32))
+        blocks = BlockCompressor(code).compress_program(compressible + incompressible)
+        assert any(not block.is_compressed for block in blocks)
+        offset = 0
+        for block in blocks:
+            line = (compressible + incompressible)[offset : offset + 32]
+            if block.is_compressed:
+                assert code.decode_fast(block.data, len(line)) == line
+                assert code.decode(block.data, len(line)) == line
+            else:
+                assert block.data == line
+                assert block.symbol_bits is None
+            offset += 32

@@ -102,6 +102,40 @@ def _compress(data: bytes, code_base: int = 0x100):
     return blocks, LineAddressTable(blocks, code_base=code_base)
 
 
+class TestLATEntryFuzz:
+    """Property tests: encode/decode is a bijection over valid entries."""
+
+    lengths_strategy = st.tuples(
+        *[st.integers(min_value=1, max_value=UNCOMPRESSED_BYTES)] * LINES_PER_ENTRY
+    )
+
+    @given(
+        base=st.integers(min_value=0, max_value=(1 << 24) - 1),
+        lengths=lengths_strategy,
+    )
+    def test_encode_decode_round_trip(self, base, lengths):
+        entry = LATEntry(base=base, lengths=lengths)
+        raw = entry.encode()
+        assert len(raw) == ENTRY_BYTES
+        assert LATEntry.decode(raw) == entry
+
+    @given(
+        base=st.integers(min_value=0, max_value=(1 << 24) - 1),
+        lengths=lengths_strategy,
+    )
+    def test_round_trip_preserves_addresses(self, base, lengths):
+        entry = LATEntry.decode(LATEntry(base=base, lengths=lengths).encode())
+        for slot in range(LINES_PER_ENTRY):
+            assert entry.block_address(slot) == base + sum(lengths[:slot])
+            assert entry.block_size(slot) == lengths[slot]
+
+    @given(raw=st.binary(min_size=ENTRY_BYTES, max_size=ENTRY_BYTES))
+    def test_decode_encode_round_trip_any_bytes(self, raw):
+        # Every 8-byte pattern is a decodable entry (length code 0 means
+        # "uncompressed"), and re-encoding reproduces the exact bytes.
+        assert LATEntry.decode(raw).encode() == raw
+
+
 class TestLineAddressTable:
     def test_entry_count(self):
         blocks, lat = _compress(bytes(20 * 32))  # 20 lines -> 3 entries

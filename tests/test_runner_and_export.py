@@ -68,3 +68,76 @@ class TestRunnerCLI:
     def test_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["figure42"])
+
+    def test_duplicate_names_run_once(self, capsys):
+        # Regression: duplicated CLI arguments used to run the same
+        # experiment twice.
+        assert main(["dense-isa", "dense-isa"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("completed in") == 1
+
+    def test_missing_output_dir_created(self, tmp_path, capsys):
+        # Regression: a nonexistent --output-dir used to crash the run.
+        nested = tmp_path / "does" / "not" / "exist"
+        assert main(["dense-isa", "--output-dir", str(nested)]) == 0
+        assert (nested / "dense-isa.json").exists()
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["dense-isa", "--jobs", "0"])
+
+    def test_metrics_dump(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["dense-isa", "--metrics", str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["schema"] == "ccrp-metrics/1"
+        assert payload["jobs"] == 1
+        assert "dense-isa" in payload["experiments"]
+        assert payload["experiments"]["dense-isa"]["elapsed_seconds"] > 0
+        assert "experiment.dense-isa" in payload["stages"]
+
+    def test_no_cache_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.core import artifacts
+
+        monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(tmp_path / "cache"))
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["dense-isa", "--no-cache", "--metrics", str(metrics_path)]) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["cache"]["enabled"] is False
+        assert not list((tmp_path / "cache").rglob("*.pkl"))
+        assert artifacts.cache_enabled()  # restored after the run
+
+
+class TestParallelRunner:
+    def test_jobs_output_byte_identical_to_serial(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["figure5", "dense-isa", "--output-dir", str(serial_dir)]) == 0
+        assert (
+            main(
+                [
+                    "figure5",
+                    "dense-isa",
+                    "--jobs",
+                    "2",
+                    "--output-dir",
+                    str(parallel_dir),
+                    "--metrics",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        for name in ("figure5", "dense-isa"):
+            serial = (serial_dir / f"{name}.json").read_bytes()
+            parallel = (parallel_dir / f"{name}.json").read_bytes()
+            assert serial == parallel
+        out = capsys.readouterr().out
+        # Output order follows the requested order, not completion order.
+        assert out.index("figure5 completed") < out.index("dense-isa completed")
+        payload = json.loads(metrics_path.read_text())
+        assert payload["jobs"] == 2
+        # Worker metrics were merged back into the parent registry.
+        assert set(payload["experiments"]) == {"figure5", "dense-isa"}
+        assert any(stage.startswith("experiment.") for stage in payload["stages"])

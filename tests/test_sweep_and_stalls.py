@@ -60,6 +60,21 @@ class TestSweep:
         )
         assert {report.program for report in result.reports} == {"eightq", "lloop01"}
 
+    def test_parallel_sweep_matches_serial(self, result):
+        parallel = sweep(
+            "eightq",
+            cache_sizes=(256, 512),
+            memories=("eprom", "burst_eprom"),
+            jobs=2,
+        )
+        assert parallel.reports == result.reports
+
+    def test_parallel_sweep_many_matches_serial(self):
+        axes = dict(cache_sizes=(256,), memories=("eprom", "burst_eprom"))
+        serial = sweep_many(("eightq", "lloop01"), **axes)
+        parallel = sweep_many(("eightq", "lloop01"), jobs=2, **axes)
+        assert parallel.reports == serial.reports
+
     def test_clb_and_data_axes(self):
         result = sweep(
             "eightq",
