@@ -21,6 +21,8 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CompressionError
 from repro.compression.bitstream import BitReader, BitWriter
 
@@ -178,27 +180,87 @@ class HuffmanCode:
         """
         return ALPHABET
 
+    def _np_arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Cached ``(lengths, codes)`` arrays for the vectorized paths.
+
+        ``codes`` is ``None`` when any code word exceeds 64 bits (possible
+        for degenerate unbounded codes) — those fall back to the scalar
+        bit writer.
+        """
+        cached = getattr(self, "_np_cache", None)
+        if cached is None:
+            lengths = np.array(self.lengths, dtype=np.int64)
+            codes = (
+                np.array(self.codes, dtype=np.uint64)
+                if self.max_length <= 64
+                else None
+            )
+            cached = (lengths, codes)
+            object.__setattr__(self, "_np_cache", cached)
+        return cached
+
+    def _first_uncodable(self, symbols: np.ndarray, bit_lengths: np.ndarray) -> int:
+        """The first symbol (in data order) whose code length is zero."""
+        return int(symbols[np.argmax(bit_lengths == 0)])
+
     def encoded_bit_length(self, data: bytes) -> int:
-        """Exact number of bits ``data`` occupies under this code."""
-        lengths = self.lengths
-        total = 0
-        for value in data:
-            length = lengths[value]
-            if length == 0:
-                raise CompressionError(f"symbol {value:#04x} has no code")
-            total += length
-        return total
+        """Exact number of bits ``data`` occupies under this code.
+
+        Vectorized as a histogram/length dot product: the bit total only
+        depends on how often each symbol occurs.
+        """
+        symbols = np.frombuffer(data, dtype=np.uint8)
+        if symbols.size == 0:
+            return 0
+        lengths, _ = self._np_arrays()
+        counts = np.bincount(symbols, minlength=ALPHABET)
+        if counts[lengths == 0].any():
+            value = self._first_uncodable(symbols, lengths[symbols])
+            raise CompressionError(f"symbol {value:#04x} has no code")
+        return int(counts @ lengths)
 
     def symbol_bit_lengths(self, data: bytes) -> list[int]:
         """Per-byte encoded lengths (drives the refill-decoder timing)."""
-        return [self.lengths[value] for value in data]
+        lengths, _ = self._np_arrays()
+        return lengths[np.frombuffer(data, dtype=np.uint8)].tolist()
 
     # ------------------------------------------------------------------
     # Encode / decode
     # ------------------------------------------------------------------
 
     def encode(self, data: bytes) -> tuple[bytes, int]:
-        """Encode ``data``; returns (padded bytes, exact bit length)."""
+        """Encode ``data``; returns (padded bytes, exact bit length).
+
+        Vectorized: expands every code word into a flat bit array and
+        packs it with :func:`np.packbits` — byte-identical to the scalar
+        :class:`BitWriter` path (property-tested), which remains as the
+        fallback for codes with words longer than 64 bits.
+        """
+        lengths_by_symbol, codes_by_symbol = self._np_arrays()
+        if codes_by_symbol is None:
+            return self._encode_scalar(data)
+        symbols = np.frombuffer(data, dtype=np.uint8)
+        if symbols.size == 0:
+            return b"", 0
+        bit_lengths = lengths_by_symbol[symbols]
+        if not bit_lengths.all():
+            value = self._first_uncodable(symbols, bit_lengths)
+            raise CompressionError(f"symbol {value:#04x} has no code")
+        ends = np.cumsum(bit_lengths)
+        total_bits = int(ends[-1])
+        starts = ends - bit_lengths
+        # One entry per output bit: which symbol it belongs to and the
+        # bit's position within that symbol's code word (0 = MSB).
+        owner = np.repeat(np.arange(symbols.size), bit_lengths)
+        intra = np.arange(total_bits) - starts[owner]
+        shift = (bit_lengths[owner] - 1 - intra).astype(np.uint64)
+        bits = ((codes_by_symbol[symbols[owner]] >> shift) & np.uint64(1)).astype(
+            np.uint8
+        )
+        return np.packbits(bits).tobytes(), total_bits
+
+    def _encode_scalar(self, data: bytes) -> tuple[bytes, int]:
+        """Reference bit-at-a-time encoder (also the >64-bit fallback)."""
         writer = BitWriter()
         lengths, codes = self.lengths, self.codes
         for value in data:
@@ -207,6 +269,59 @@ class HuffmanCode:
                 raise CompressionError(f"symbol {value:#04x} has no code")
             writer.write(codes[value], length)
         return writer.getvalue(), writer.bit_length
+
+    def encode_lines(
+        self, data: bytes, line_size: int
+    ) -> tuple[list[bytes], np.ndarray] | None:
+        """Encode ``data`` as independent equal-sized lines in one pass.
+
+        Each line is encoded exactly as ``encode(line)`` would — its
+        stream starts on a byte boundary and is zero-padded to whole
+        bytes — but the bit expansion and packing run once over the whole
+        segment instead of once per line.  Returns ``(encoded bytes per
+        line, exact bit length per line)``, or ``None`` when the code
+        needs the scalar fallback (a code word longer than 64 bits).
+        """
+        if line_size <= 0:
+            raise CompressionError(f"line size must be positive, got {line_size}")
+        if len(data) % line_size:
+            raise CompressionError(
+                f"data length {len(data)} is not a multiple of line size {line_size}"
+            )
+        lengths_by_symbol, codes_by_symbol = self._np_arrays()
+        if codes_by_symbol is None:
+            return None
+        symbols = np.frombuffer(data, dtype=np.uint8)
+        line_count = symbols.size // line_size
+        if line_count == 0:
+            return [], np.zeros(0, dtype=np.int64)
+        bit_lengths = lengths_by_symbol[symbols]
+        if not bit_lengths.all():
+            value = self._first_uncodable(symbols, bit_lengths)
+            raise CompressionError(f"symbol {value:#04x} has no code")
+        line_bits = bit_lengths.reshape(line_count, line_size).sum(axis=1)
+        stored_bytes = (line_bits + 7) >> 3
+        line_byte_starts = np.zeros(line_count, dtype=np.int64)
+        np.cumsum(stored_bytes[:-1], out=line_byte_starts[1:])
+        total_bits = int(line_byte_starts[-1] + stored_bytes[-1]) * 8
+        # Dense per-symbol bit offsets, then shift every line's codes up
+        # to its byte-aligned start (the gap bits stay zero = padding).
+        ends = np.cumsum(bit_lengths)
+        starts = ends - bit_lengths
+        rebase = line_byte_starts * 8 - (ends.reshape(line_count, line_size)[:, -1] - line_bits)
+        owner = np.repeat(np.arange(symbols.size), bit_lengths)
+        intra = np.arange(int(ends[-1])) - starts[owner]
+        line_of_symbol = np.repeat(np.arange(line_count), line_size)
+        positions = starts[owner] + rebase[line_of_symbol[owner]] + intra
+        shift = (bit_lengths[owner] - 1 - intra).astype(np.uint64)
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        bits[positions] = (codes_by_symbol[symbols[owner]] >> shift) & np.uint64(1)
+        packed = np.packbits(bits).tobytes()
+        encoded = [
+            packed[start : start + size]
+            for start, size in zip(line_byte_starts.tolist(), stored_bytes.tolist())
+        ]
+        return encoded, line_bits
 
     def decode(self, blob: bytes, symbol_count: int) -> bytes:
         """Decode ``symbol_count`` symbols from ``blob``."""
@@ -255,7 +370,7 @@ class HuffmanCode:
         :meth:`decode` (property-tested) at several times the speed.
         """
         fast_bits = self._FAST_BITS
-        fast_table, long_table = self._fast_tables()
+        fast_symbols, fast_lengths, long_table = self._fast_tables()
         max_length = self.max_length
         # A bit accumulator kept topped up to at least `max_length` bits.
         acc = 0
@@ -275,9 +390,9 @@ class HuffmanCode:
                 probe = (acc >> (acc_bits - fast_bits)) & ((1 << fast_bits) - 1)
             else:
                 probe = (acc << (fast_bits - acc_bits)) & ((1 << fast_bits) - 1)
-            entry = fast_table[probe]
-            if entry is not None:
-                symbol, length = entry
+            length = fast_lengths[probe]
+            if length:
+                symbol = fast_symbols[probe]
             else:
                 symbol = None
                 for length in range(fast_bits + 1, max_length + 1):
@@ -296,11 +411,19 @@ class HuffmanCode:
             decoded.append(symbol)
         return bytes(decoded)
 
-    def _fast_tables(self):
+    def _fast_tables(self) -> tuple[bytearray, bytearray, dict[tuple[int, int], int]]:
+        """Flat probe tables: symbol and length per ``_FAST_BITS`` prefix.
+
+        Two parallel ``bytearray``s (length 0 = no short code for this
+        prefix, fall back to the long-code dictionary) keep the hot loop
+        free of tuple unpacking and ``None`` checks — byte indexing is
+        the cheapest lookup CPython offers.
+        """
         cached = getattr(self, "_fast_cache", None)
         if cached is None:
             fast_bits = self._FAST_BITS
-            fast_table: list[tuple[int, int] | None] = [None] * (1 << fast_bits)
+            fast_symbols = bytearray(1 << fast_bits)
+            fast_lengths = bytearray(1 << fast_bits)
             long_table: dict[tuple[int, int], int] = {}
             for symbol in range(ALPHABET):
                 length = self.lengths[symbol]
@@ -309,9 +432,10 @@ class HuffmanCode:
                 if length <= fast_bits:
                     prefix = self.codes[symbol] << (fast_bits - length)
                     for suffix in range(1 << (fast_bits - length)):
-                        fast_table[prefix | suffix] = (symbol, length)
+                        fast_symbols[prefix | suffix] = symbol
+                        fast_lengths[prefix | suffix] = length
                 else:
                     long_table[(length, self.codes[symbol])] = symbol
-            cached = (fast_table, long_table)
+            cached = (fast_symbols, fast_lengths, long_table)
             object.__setattr__(self, "_fast_cache", cached)
         return cached

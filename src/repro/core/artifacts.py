@@ -48,7 +48,8 @@ ENV_CACHE_DIR = "CCRP_CACHE_DIR"
 ENV_NO_CACHE = "CCRP_NO_CACHE"
 
 #: Bump to invalidate every artifact when the pickled formats change.
-FORMAT_VERSION = 1
+#: 2: ExecutionTrace grew a lazy block-trace backing (superop engine).
+FORMAT_VERSION = 2
 
 #: Studies kept by the in-memory LRU used by :func:`get_study`.
 MAX_CACHED_STUDIES = 16

@@ -10,6 +10,7 @@ the API equivalent of "this could be determined at development time".
 from __future__ import annotations
 
 import csv
+import os
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -157,15 +158,12 @@ def sweep(
     """
     decoder = decoder or DecoderModel()
     configs = _grid(cache_sizes, memories, clb_entries, data_miss_rates, decoder)
-    parallel = (
-        jobs is not None
-        and jobs > 1
-        and study is None
-        and isinstance(workload, str)
-        and len(configs) > 1
+    workers = (
+        effective_jobs(jobs, len(configs))
+        if study is None and isinstance(workload, str)
+        else 1
     )
-    if parallel:
-        workers = min(jobs, len(configs))
+    if workers > 1:
         chunks = [configs[index::workers] for index in range(workers)]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_metrics_chunk, workload, chunk) for chunk in chunks]
@@ -186,6 +184,19 @@ def sweep(
     return SweepResult(reports=tuple(reports))
 
 
+def effective_jobs(jobs: int | None, tasks: int) -> int:
+    """Worker processes actually worth spawning for ``tasks`` tasks.
+
+    Clamps the requested count to the task count and to the machine's
+    CPU count — extra workers past either bound only add process
+    start-up and scheduling cost.  ``None`` and any result of 1 mean
+    "run serial, no pool".
+    """
+    if jobs is None or tasks <= 0:
+        return 1
+    return max(1, min(jobs, tasks, os.cpu_count() or 1))
+
+
 def _sweep_one(workload: str, axes: dict) -> tuple[ComparisonReport, ...]:
     """Worker entry point for :func:`sweep_many`."""
     return sweep(workload, **axes).reports
@@ -204,8 +215,9 @@ def sweep_many(
     """
     workloads = list(workloads)
     reports: list[ComparisonReport] = []
-    if jobs is not None and jobs > 1 and len(workloads) > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(workloads))) as pool:
+    workers = effective_jobs(jobs, len(workloads))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_sweep_one, workload, axes) for workload in workloads]
             for future in futures:
                 reports.extend(future.result())

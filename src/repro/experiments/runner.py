@@ -104,6 +104,7 @@ def main(argv: list[str] | None = None) -> int:
     """Run the named experiments and print their rendered tables."""
     from repro.core import artifacts
     from repro.core.metrics import METRICS
+    from repro.core.sweep import effective_jobs
     from repro.experiments.export import export_payload
 
     registry = _registry()
@@ -127,7 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run up to N experiments in parallel worker processes",
+        help="run up to N experiments in parallel worker processes "
+        "(clamped to the CPU count; the effective value lands in --metrics)",
     )
     parser.add_argument(
         "--metrics",
@@ -145,6 +147,9 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be at least 1")
 
     names = list(registry) if "all" in args.experiments else _dedupe(args.experiments)
+    # Clamp to the CPU count and the task count: asking for more workers
+    # than either just adds process start-up cost.  1 means run serial.
+    jobs_effective = effective_jobs(args.jobs, len(names))
     if args.output_dir:
         args.output_dir.mkdir(parents=True, exist_ok=True)
 
@@ -162,8 +167,8 @@ def main(argv: list[str] | None = None) -> int:
     outcomes: list[ExperimentOutcome] = []
     bypass = artifacts.cache_disabled() if args.no_cache else contextlib.nullcontext()
     with bypass:
-        if args.jobs > 1 and len(names) > 1:
-            with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+        if jobs_effective > 1:
+            with ProcessPoolExecutor(max_workers=jobs_effective) as pool:
                 futures = [
                     pool.submit(
                         _run_single,
@@ -194,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
             args.metrics,
             extra={
                 "jobs": args.jobs,
+                "jobs_effective": jobs_effective,
                 "cache": cache_state,
                 "total_wall_seconds": time.perf_counter() - overall_started,
                 "experiments": {

@@ -100,18 +100,35 @@ def _jump_target(instruction: Instruction, address: int) -> int:
     return ((address + 4) & 0xF000_0000) | (instruction.target << 2)
 
 
-def build_cfg(text: bytes, text_base: int = 0) -> ControlFlowGraph:
-    """Build the control-flow graph of an encoded text segment."""
-    instructions = decode_program(text)
+def find_leaders(
+    instructions: tuple[Instruction, ...] | list[Instruction],
+    text_base: int = 0,
+    split_after_syscalls: bool = False,
+) -> set[int]:
+    """Basic-block leader addresses of a decoded text segment.
+
+    Leaders are the entry point, every branch/jump target, and the
+    instruction after each control transfer's delay slot.  With
+    ``split_after_syscalls`` the instruction after a ``syscall`` or
+    ``break`` also starts a block — the superop execution engine needs
+    syscalls to end blocks so a mid-run exit never splits an event.
+    """
     count = len(instructions)
     text_end = text_base + 4 * count
-
-    # --- pass 1: find leaders --------------------------------------------
     leaders: set[int] = {text_base} if count else set()
+    # Memoise the control-transfer property per (shared) spec object:
+    # large programs hit this loop tens of thousands of times.
+    transfers: dict[int, bool] = {}
     for index, instruction in enumerate(instructions):
-        if not instruction.spec.is_control_transfer:
-            continue
         address = text_base + 4 * index
+        spec = instruction.spec
+        is_transfer = transfers.get(id(spec))
+        if is_transfer is None:
+            is_transfer = transfers[id(spec)] = spec.is_control_transfer
+        if not is_transfer:
+            if split_after_syscalls and instruction.mnemonic in ("syscall", "break"):
+                leaders.add(address + 4)
+            continue
         category = instruction.spec.category
         if category in (Category.BRANCH, Category.FP_BRANCH):
             leaders.add(_branch_target(instruction, address))
@@ -121,10 +138,31 @@ def build_cfg(text: bytes, text_base: int = 0) -> ControlFlowGraph:
             elif instruction.mnemonic in ("bltzal", "bgezal"):
                 leaders.add(_branch_target(instruction, address))
         # the instruction after the delay slot starts a new block
-        after_slot = address + 8
-        if after_slot < text_end:
-            leaders.add(after_slot)
-    leaders = {leader for leader in leaders if text_base <= leader < text_end}
+        leaders.add(address + 8)
+    return {leader for leader in leaders if text_base <= leader < text_end}
+
+
+def build_cfg(
+    text: bytes,
+    text_base: int = 0,
+    instructions: tuple[Instruction, ...] | None = None,
+) -> ControlFlowGraph:
+    """Build the control-flow graph of an encoded text segment.
+
+    Args:
+        text: Encoded text-segment bytes.
+        text_base: Load address of the segment.
+        instructions: Pre-decoded instructions for ``text``; pass them to
+            skip the redundant decode when the caller already has them
+            (the superop engine does).
+    """
+    if instructions is None:
+        instructions = decode_program(text)
+    count = len(instructions)
+    text_end = text_base + 4 * count
+
+    # --- pass 1: find leaders --------------------------------------------
+    leaders = find_leaders(instructions, text_base)
 
     # --- pass 2: carve blocks --------------------------------------------
     ordered = sorted(leaders)

@@ -8,13 +8,14 @@ records the dynamic instruction-address trace, data-access counts, and a
 pixie-style pipeline-stall estimate.
 """
 
-from repro.machine.executor import Machine, ExecutionResult
+from repro.machine.executor import Machine, ExecutionResult, default_block_mode
 from repro.machine.memory import Memory, MEMORY_BYTES
 from repro.machine.profile import ProfileReport, profile
 from repro.machine.stalls import StallModel, R2000_STALLS
-from repro.machine.tracing import ExecutionTrace
+from repro.machine.tracing import BlockTrace, ExecutionTrace
 
 __all__ = [
+    "BlockTrace",
     "ExecutionResult",
     "ExecutionTrace",
     "Machine",
@@ -24,4 +25,5 @@ __all__ = [
     "profile",
     "R2000_STALLS",
     "StallModel",
+    "default_block_mode",
 ]

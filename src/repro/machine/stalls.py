@@ -90,6 +90,22 @@ class StallModel:
         counts = np.bincount(instruction_indices, minlength=len(costs))
         return int(np.dot(counts[: len(costs)], costs))
 
+    def stall_cycles_from_counts(
+        self,
+        execution_counts: np.ndarray,
+        instructions: tuple[Instruction, ...],
+    ) -> int:
+        """Total stall cycles from per-instruction execution counts.
+
+        The flat model is order-independent, so block-level traces can
+        charge stalls straight off their execution histogram without
+        ever materialising the per-instruction address stream.
+        """
+        costs = self.per_instruction_costs(instructions)
+        if costs.max(initial=0) == 0 or len(execution_counts) == 0:
+            return 0
+        return int(np.dot(execution_counts[: len(costs)], costs))
+
 
 #: The default stall model used throughout the experiments.
 R2000_STALLS = StallModel()

@@ -413,3 +413,92 @@ class TestFastDecoder:
                 assert block.data == line
                 assert block.symbol_bits is None
             offset += 32
+
+
+class TestFastDecoderTableBoundary:
+    """Code words at, just under, and just past the 10-bit probe table."""
+
+    @pytest.mark.parametrize("length", [9, 10, 11])
+    def test_uniform_lengths_around_fast_bits(self, length):
+        assert HuffmanCode._FAST_BITS == 10
+        code = HuffmanCode.from_lengths([length] * 256)
+        data = bytes(range(256)) * 4
+        blob, _ = code.encode(data)
+        assert code.decode_fast(blob, len(data)) == code.decode(blob, len(data)) == data
+
+    def test_code_straddling_fast_bits(self):
+        # Half the symbols resolve in the probe table, half overflow to
+        # the long-code fallback — exercised within the same stream.
+        code = HuffmanCode.from_lengths([9] * 128 + [11] * 128)
+        data = bytes(random.Random(77).randbytes(3000))
+        blob, _ = code.encode(data)
+        assert code.decode_fast(blob, len(data)) == code.decode(blob, len(data)) == data
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=200), st.sampled_from([9, 10, 11]))
+    def test_property_boundary_round_trip(self, data, length):
+        code = HuffmanCode.from_lengths([length] * 256)
+        blob, _ = code.encode(data)
+        assert code.decode_fast(blob, len(data)) == data
+
+
+class TestVectorizedEncode:
+    """The numpy bit-packer must be byte-identical to the BitWriter."""
+
+    def _random_code(self, seed: int) -> HuffmanCode:
+        data = bytes(random.Random(seed).randbytes(4096))
+        return HuffmanCode.from_frequencies(
+            byte_histogram(data), max_length=16, cover_all_symbols=True
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=400), st.integers(0, 10_000))
+    def test_property_matches_scalar(self, data, seed):
+        code = self._random_code(seed)
+        assert code.encode(data) == code._encode_scalar(data)
+
+    def test_bit_length_agrees_across_queries(self):
+        code = self._random_code(7)
+        data = bytes(random.Random(8).randbytes(500))
+        _, total_bits = code.encode(data)
+        assert total_bits == code.encoded_bit_length(data)
+        assert total_bits == sum(code.symbol_bit_lengths(data))
+
+    def test_empty_input(self):
+        code = self._random_code(9)
+        assert code.encode(b"") == code._encode_scalar(b"") == (b"", 0)
+
+    def test_uncodable_symbol_raises_in_both_paths(self):
+        code = HuffmanCode.from_frequencies(
+            byte_histogram(b"abcabcab"), cover_all_symbols=False
+        )
+        with pytest.raises(CompressionError):
+            code.encode(b"abcZ")
+        with pytest.raises(CompressionError):
+            code._encode_scalar(b"abcZ")
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 12),
+        st.sampled_from([8, 16, 32]),
+        st.integers(0, 10_000),
+    )
+    def test_encode_lines_matches_per_line_encode(self, lines, line_size, seed):
+        code = self._random_code(seed)
+        data = bytes(random.Random(seed + 1).randbytes(lines * line_size))
+        batch = code.encode_lines(data, line_size)
+        assert batch is not None
+        encoded_lines, line_bits = batch
+        assert len(encoded_lines) == lines
+        for index in range(lines):
+            line = data[index * line_size : (index + 1) * line_size]
+            expected_bytes, expected_bits = code.encode(line)
+            assert encoded_lines[index] == expected_bytes
+            assert int(line_bits[index]) == expected_bits
+
+    def test_encode_lines_rejects_ragged_input(self):
+        code = self._random_code(11)
+        with pytest.raises(CompressionError):
+            code.encode_lines(b"12345", 4)
+        with pytest.raises(CompressionError):
+            code.encode_lines(b"1234", 0)
