@@ -1,0 +1,183 @@
+"""Benchmark: pipeline timing backends — exact replay vs vectorized timeline.
+
+Measures the *timing substrate*, not the paper's results: for every
+tier-1 workload it times
+
+* the additive backend's cost (the executor's folded-in stall counters —
+  effectively free at study time, the reference throughput),
+* the vectorized block timeline (:func:`repro.pipeline.timeline.replay_trace`,
+  what ``--timing pipeline`` actually runs), and
+* the exact per-instruction scoreboard replay
+  (:func:`repro.pipeline.datapath.simulate_pipeline`) over a bounded
+  prefix, extrapolated to full-trace cost,
+
+and reports dynamic instructions per second for each plus the
+timeline-over-exact speedup.  The timeline's hazard totals are also
+checked against the exact replay on the measured prefix (lower bound,
+see the module docstring of :mod:`repro.pipeline.timeline`), so the
+speedup claim is tied to a correctness gate.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+
+and it writes ``BENCH_pipeline.json``.  ``--smoke`` runs one workload
+with a short prefix and fails on any bound violation (CI uses this);
+``--metrics FILE`` writes the record to an extra location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_EXACT_PREFIX = 200_000
+SMOKE_WORKLOAD = "lloop01"
+SMOKE_EXACT_PREFIX = 50_000
+
+
+def _best_of(thunk, repeats: int):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = thunk()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def _measure_workload(name: str, exact_prefix: int, repeats: int) -> dict:
+    """Time both pipeline paths (and the bound check) on one workload."""
+    import numpy as np
+
+    from repro.pipeline.datapath import simulate_pipeline
+    from repro.pipeline.timeline import BlockTable, replay_trace
+    from repro.workloads.suite import load
+
+    workload = load(name)
+    trace = workload.run().trace
+    instructions = workload.program.instructions
+    indices = trace.instruction_indices
+    dynamic = len(indices)
+    prefix = np.ascontiguousarray(indices[: min(exact_prefix, dynamic)])
+
+    table_seconds, table = _best_of(
+        lambda: BlockTable(instructions, workload.program.text_base), repeats
+    )
+    timeline_seconds, timeline = _best_of(
+        lambda: replay_trace(trace, instructions, block_table=table), repeats
+    )
+    exact_seconds, exact = _best_of(
+        lambda: simulate_pipeline(instructions, prefix), repeats
+    )
+    timeline_prefix = replay_trace(prefix, instructions, block_table=table)
+    if exact.hazard_stall_cycles < timeline_prefix.hazard_stall_cycles:
+        raise SystemExit(
+            f"bound violation on {name!r}: exact hazard stalls "
+            f"{exact.hazard_stall_cycles} < timeline "
+            f"{timeline_prefix.hazard_stall_cycles}"
+        )
+    if exact.branch_stall_cycles != timeline_prefix.branch_stall_cycles:
+        raise SystemExit(
+            f"branch mismatch on {name!r}: exact {exact.branch_stall_cycles} "
+            f"!= timeline {timeline_prefix.branch_stall_cycles}"
+        )
+
+    exact_rate = len(prefix) / exact_seconds
+    timeline_rate = dynamic / timeline_seconds
+    return {
+        "dynamic_instructions": dynamic,
+        "exact_prefix": len(prefix),
+        "block_table_seconds": table_seconds,
+        "timeline_seconds": timeline_seconds,
+        "timeline_instructions_per_second": timeline_rate,
+        "exact_instructions_per_second": exact_rate,
+        "exact_full_trace_seconds_estimated": dynamic / exact_rate,
+        "timeline_speedup_over_exact": timeline_rate / exact_rate,
+        "hazard_stall_cycles": timeline.hazard_stall_cycles,
+        "branch_stall_cycles": timeline.branch_stall_cycles,
+        "total_cycles": timeline.total_cycles,
+    }
+
+
+def run_benchmark(exact_prefix: int, repeats: int) -> dict:
+    from repro.core import artifacts
+    from repro.workloads.suite import SIMULATION_PROGRAMS
+
+    workloads = {}
+    with artifacts.cache_disabled():
+        for name in SIMULATION_PROGRAMS:
+            workloads[name] = _measure_workload(name, exact_prefix, repeats)
+    speedups = [w["timeline_speedup_over_exact"] for w in workloads.values()]
+    return {
+        "schema": "ccrp-bench-pipeline/1",
+        "exact_prefix": exact_prefix,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+        "geomean_timeline_speedup": float(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        ),
+    }
+
+
+def run_smoke(exact_prefix: int) -> dict:
+    """One workload, short prefix, bound check only (CI gate)."""
+    started = time.perf_counter()
+    record = _measure_workload(SMOKE_WORKLOAD, exact_prefix, repeats=1)
+    return {
+        "schema": "ccrp-bench-pipeline-smoke/1",
+        "workload": SMOKE_WORKLOAD,
+        "bound_holds": True,  # _measure_workload raises otherwise
+        "elapsed_seconds": time.perf_counter() - started,
+        "measurement": record,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_pipeline.json",
+        help="where to write the timing record",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        metavar="FILE",
+        help="also write the record (or smoke result) to FILE",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI mode: one workload, short prefix, bound check only",
+    )
+    parser.add_argument("--exact-prefix", type=int, default=DEFAULT_EXACT_PREFIX)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        record = run_smoke(min(args.exact_prefix, SMOKE_EXACT_PREFIX))
+    else:
+        record = run_benchmark(args.exact_prefix, args.repeats)
+        args.output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    if args.metrics:
+        args.metrics.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

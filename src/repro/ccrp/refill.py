@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ccrp.decoder import DecoderModel
 from repro.ccrp.image import CompressedImage
+from repro.errors import LATError
 from repro.lat.entry import ENTRY_BYTES
 from repro.memsys.models import MemoryModel, get_memory_model
 
@@ -69,19 +70,58 @@ class RefillEngine:
     # Miss-stream reductions
     # ------------------------------------------------------------------
 
-    def ccrp_miss_cycles(self, miss_line_indices: np.ndarray) -> int:
+    def _checked_indices(self, miss_line_indices) -> np.ndarray:
+        """Validate a miss-index stream against the image's line count.
+
+        Mirrors :meth:`~repro.ccrp.image.CompressedImage.line_index`:
+        any index outside ``[0, line_count)`` raises
+        :class:`~repro.errors.LATError` instead of wrapping around via
+        numpy's negative indexing (the last line of the image,
+        ``line_count - 1``, is of course valid).
+        """
+        indices = np.asarray(miss_line_indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise LATError(f"miss indices must be one-dimensional, got shape {indices.shape}")
+        if len(indices) == 0:
+            return indices
+        low, high = int(indices.min()), int(indices.max())
+        if low < 0 or high >= len(self._ccrp_cycles):
+            bad = low if low < 0 else high
+            raise LATError(
+                f"line index {bad} outside image [0, {len(self._ccrp_cycles)})"
+            )
+        return indices
+
+    def ccrp_line_cycles(self, miss_line_indices) -> np.ndarray:
+        """Per-miss CCRP refill cycles (bounds-checked gather)."""
+        indices = self._checked_indices(miss_line_indices)
+        return self._ccrp_cycles[indices]
+
+    def ccrp_miss_cycles(self, miss_line_indices) -> int:
         """Total CCRP refill cycles for a stream of missed line indices
-        (CLB penalties excluded; add ``clb_misses * lat_fetch_cycles``)."""
-        if len(miss_line_indices) == 0:
+        (CLB penalties excluded; add ``clb_misses * lat_fetch_cycles``).
+
+        An empty stream costs zero; out-of-range indices raise
+        :class:`~repro.errors.LATError`.
+        """
+        indices = self._checked_indices(miss_line_indices)
+        if len(indices) == 0:
             return 0
-        return int(self._ccrp_cycles[miss_line_indices].sum())
+        return int(self._ccrp_cycles[indices].sum())
 
     def baseline_miss_cycles(self, miss_count: int) -> int:
         """Total baseline refill cycles for ``miss_count`` misses."""
+        if miss_count < 0:
+            raise LATError(f"miss count cannot be negative, got {miss_count}")
         return miss_count * self.baseline_refill_cycles
 
-    def ccrp_fetched_bytes(self, miss_line_indices: np.ndarray) -> int:
-        """Bus bytes the CCRP fetched for these misses (blocks only)."""
-        if len(miss_line_indices) == 0:
+    def ccrp_fetched_bytes(self, miss_line_indices) -> int:
+        """Bus bytes the CCRP fetched for these misses (blocks only).
+
+        Same contract as :meth:`ccrp_miss_cycles`: empty streams cost
+        zero, out-of-range indices raise :class:`~repro.errors.LATError`.
+        """
+        indices = self._checked_indices(miss_line_indices)
+        if len(indices) == 0:
             return 0
-        return int(self._fetched_bytes[miss_line_indices].sum())
+        return int(self._fetched_bytes[indices].sum())

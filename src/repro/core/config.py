@@ -9,6 +9,36 @@ from repro.cache.datacache import DataCacheModel
 from repro.ccrp.decoder import DecoderModel
 from repro.compression.block import BYTE_ALIGNED, WORD_ALIGNED
 
+#: The selectable timing backends (see ``docs/modeling_notes.md``).
+TIMING_BACKENDS = ("additive", "pipeline")
+
+_default_timing = "additive"
+
+
+def validate_timing(name: str) -> str:
+    """Check a timing-backend name, raising :class:`ConfigurationError`."""
+    if name not in TIMING_BACKENDS:
+        raise ConfigurationError(
+            f"unknown timing backend {name!r}; choose from {TIMING_BACKENDS}"
+        )
+    return name
+
+
+def set_default_timing(name: str) -> None:
+    """Set the backend new :class:`SystemConfig` objects default to.
+
+    The experiment runner's ``--timing`` flag routes through this so
+    every experiment — which each build their own configs — switches
+    backend without threading a parameter through all of them.
+    """
+    global _default_timing
+    _default_timing = validate_timing(name)
+
+
+def default_timing() -> str:
+    """The process-wide default timing backend."""
+    return _default_timing
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -29,6 +59,13 @@ class SystemConfig:
         decoder: Refill-decoder timing model.
         data_cache: Analytic data-cache model (miss rate 1.0 = none).
         block_alignment: Compressed-block alignment (1 = byte, 4 = word).
+        timing: Timing backend — ``"additive"`` (the paper's folded-in
+            pixie stalls) or ``"pipeline"`` (the cycle-accurate 5-stage
+            model of :mod:`repro.pipeline`).  Defaults to the
+            process-wide setting (:func:`set_default_timing`).
+        critical_word_first: Resume the pipeline on critical-word
+            arrival during refills (modelled extension; requires the
+            pipeline backend).
     """
 
     cache_bytes: int = 1024
@@ -38,6 +75,8 @@ class SystemConfig:
     decoder: DecoderModel = field(default_factory=DecoderModel)
     data_cache: DataCacheModel = field(default_factory=DataCacheModel)
     block_alignment: int = BYTE_ALIGNED
+    timing: str = field(default_factory=default_timing)
+    critical_word_first: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_bytes < self.line_size:
@@ -50,6 +89,11 @@ class SystemConfig:
             )
         if self.clb_entries < 1:
             raise ConfigurationError("CLB needs at least one entry")
+        validate_timing(self.timing)
+        if self.critical_word_first and self.timing != "pipeline":
+            raise ConfigurationError(
+                "critical-word-first refill needs the pipeline timing backend"
+            )
 
     def with_options(self, **changes) -> "SystemConfig":
         """A copy with the given fields replaced (sweep helper)."""

@@ -21,7 +21,10 @@ class SystemMetrics:
     """Cycle and traffic totals for one machine on one trace.
 
     Attributes:
-        base_cycles: Issue cycles plus pipeline stalls (memory-independent).
+        base_cycles: Memory-independent cycles.  Under the additive
+            timing backend this is issue cycles plus the pixie-style
+            stall estimate; under the pipeline backend it is issue +
+            pipeline fill + hazard interlocks + branch redirects.
         refill_cycles: Instruction-cache refill cycles, including any
             CLB/LAT penalty on the CCRP.
         data_cycles: Data-access penalty cycles.
@@ -29,6 +32,13 @@ class SystemMetrics:
         misses: Instruction-cache miss count.
         accesses: Instruction fetch count.
         clb_misses: CLB misses (0 for the standard machine).
+        timing: Which backend produced the numbers (``"additive"`` or
+            ``"pipeline"``).
+        hazard_stall_cycles: Data/structural interlock cycles (the
+            additive backend reports its flat latency estimate here).
+        branch_stall_cycles: Taken-redirect squashed-fetch cycles
+            (pipeline backend only; the additive model cannot see them).
+        fill_cycles: Pipeline fill/drain cycles (pipeline backend only).
     """
 
     base_cycles: int
@@ -38,6 +48,10 @@ class SystemMetrics:
     misses: int
     accesses: int
     clb_misses: int = 0
+    timing: str = "additive"
+    hazard_stall_cycles: int = 0
+    branch_stall_cycles: int = 0
+    fill_cycles: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -52,6 +66,26 @@ class SystemMetrics:
     def cpi(self) -> float:
         """Cycles per instruction (accesses = dynamic instructions)."""
         return self.total_cycles / self.accesses if self.accesses else 0.0
+
+    @property
+    def stall_breakdown(self) -> dict[str, int]:
+        """Stall cycles by cause: hazard vs branch vs fetch vs data."""
+        return {
+            "hazard": self.hazard_stall_cycles,
+            "branch": self.branch_stall_cycles,
+            "fetch": self.refill_cycles,
+            "data": self.data_cycles,
+        }
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Every cycle that is not an issue or fill cycle."""
+        return (
+            self.hazard_stall_cycles
+            + self.branch_stall_cycles
+            + self.refill_cycles
+            + self.data_cycles
+        )
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,14 @@ from repro.core.performance import ComparisonReport, SystemMetrics
 from repro.core.standard import standard_code
 from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY
 from repro.memsys.models import get_memory_model
+from repro.pipeline.datapath import PipelineResult
+from repro.pipeline.frontend import (
+    baseline_critical_word_cycles,
+    ccrp_critical_word_cycles,
+    miss_mask,
+)
+from repro.pipeline.hazards import HazardModel, R2000_HAZARDS
+from repro.pipeline.timeline import BlockTable, replay_trace
 from repro.workloads.suite import Workload, load
 
 
@@ -35,6 +43,7 @@ class ProgramStudy:
             standard preselected bounded code.
         block_alignment: Compressed-block alignment (1 = byte, 4 = word).
         max_instructions: Trace-length cap passed to the executor.
+        hazards: Interlock parameters of the pipeline timing backend.
     """
 
     def __init__(
@@ -43,11 +52,13 @@ class ProgramStudy:
         code: HuffmanCode | None = None,
         block_alignment: int = 1,
         max_instructions: int = 4_000_000,
+        hazards: HazardModel = R2000_HAZARDS,
     ) -> None:
         self.workload = load(workload) if isinstance(workload, str) else workload
         self.code = code if code is not None else standard_code()
         self.block_alignment = block_alignment
         self.max_instructions = max_instructions
+        self.hazards = hazards
 
         cache = artifacts.get_cache()
         text_fp = artifacts.fingerprint_bytes(self.workload.text)
@@ -77,6 +88,8 @@ class ProgramStudy:
         self._cache_stats: dict[int, CacheStats] = {}
         self._clb_misses: dict[tuple[int, int], int] = {}
         self._engines: dict[str, RefillEngine] = {}
+        self._pipeline_replay: PipelineResult | None = None
+        self._miss_addresses: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Cached building blocks
@@ -132,6 +145,65 @@ class ProgramStudy:
             self._engines[key] = engine
         return engine
 
+    def pipeline_replay(self) -> PipelineResult:
+        """Hazard/branch cycle totals of the 5-stage pipeline model.
+
+        Memory-independent (the fetch terms are zero here — they depend
+        on the cache/memory configuration and are added per config), so
+        one vectorized replay serves the whole design-space sweep.  Disk
+        cached alongside the trace artifacts.
+        """
+        replay = self._pipeline_replay
+        if replay is None:
+            with METRICS.stage("study.pipeline_replay"):
+
+                def _replay() -> PipelineResult:
+                    table = BlockTable(
+                        self.workload.program.instructions,
+                        text_base=self.workload.program.text_base,
+                        hazards=self.hazards,
+                    )
+                    return replay_trace(
+                        self.execution.trace,
+                        self.workload.program.instructions,
+                        block_table=table,
+                    )
+
+                replay = artifacts.get_cache().get_or_compute(
+                    "pipeline-replay",
+                    _replay,
+                    *self._trace_key,
+                    self.hazards.fingerprint(),
+                )
+            self._pipeline_replay = replay
+        return replay
+
+    def miss_addresses(self, cache_bytes: int) -> np.ndarray:
+        """Byte address of every missing fetch, in occurrence order.
+
+        The per-miss *offsets within the line* drive the
+        critical-word-first refill extension; the plain miss-line stream
+        of :meth:`cache_stats` cannot provide them.
+        """
+        addresses = self._miss_addresses.get(cache_bytes)
+        if addresses is None:
+            with METRICS.stage("study.miss_addresses"):
+                trace = self.execution.trace.addresses
+
+                def _compute() -> np.ndarray:
+                    mask = miss_mask(trace, cache_bytes, self.image.line_size)
+                    return trace[mask]
+
+                addresses = artifacts.get_cache().get_or_compute(
+                    "miss-addresses",
+                    _compute,
+                    *self._trace_key,
+                    cache_bytes,
+                    self.image.line_size,
+                )
+            self._miss_addresses[cache_bytes] = addresses
+        return addresses
+
     # ------------------------------------------------------------------
     # The comparison itself
     # ------------------------------------------------------------------
@@ -144,25 +216,60 @@ class ProgramStudy:
         execution = self.execution
 
         data_cycles = config.data_cache.penalty_cycles(execution.data_accesses)
-        base_cycles = execution.base_cycles
+        miss_line_indices = self._line_indices(stats.miss_lines)
+        clb_misses = self.clb_miss_count(config.cache_bytes, config.clb_entries)
+
+        # --- timing backend ----------------------------------------------
+        if config.timing == "pipeline":
+            replay = self.pipeline_replay()
+            base_cycles = (
+                replay.issue_cycles
+                + replay.fill_cycles
+                + replay.hazard_stall_cycles
+                + replay.branch_stall_cycles
+            )
+            timing_fields = {
+                "timing": "pipeline",
+                "hazard_stall_cycles": replay.hazard_stall_cycles,
+                "branch_stall_cycles": replay.branch_stall_cycles,
+                "fill_cycles": replay.fill_cycles,
+            }
+            METRICS.count("pipeline.hazard_stall_cycles", replay.hazard_stall_cycles)
+            METRICS.count("pipeline.branch_stall_cycles", replay.branch_stall_cycles)
+        else:
+            base_cycles = execution.base_cycles
+            timing_fields = {
+                "timing": "additive",
+                "hazard_stall_cycles": execution.stall_cycles,
+            }
+
+        # --- refill freezes ----------------------------------------------
+        if config.critical_word_first:
+            misses = self.miss_addresses(config.cache_bytes)
+            baseline_refill = baseline_critical_word_cycles(model, stats.misses)
+            ccrp_refill = (
+                ccrp_critical_word_cycles(engine, misses)
+                + clb_misses * engine.lat_fetch_cycles
+            )
+        else:
+            baseline_refill = engine.baseline_miss_cycles(stats.misses)
+            ccrp_refill = (
+                engine.ccrp_miss_cycles(miss_line_indices)
+                + clb_misses * engine.lat_fetch_cycles
+            )
 
         # --- standard RISC machine --------------------------------------
         baseline = SystemMetrics(
             base_cycles=base_cycles,
-            refill_cycles=engine.baseline_miss_cycles(stats.misses),
+            refill_cycles=baseline_refill,
             data_cycles=data_cycles,
             instruction_traffic_bytes=stats.misses * self.image.line_size,
             misses=stats.misses,
             accesses=stats.accesses,
+            **timing_fields,
         )
 
         # --- compressed code machine ------------------------------------
-        miss_line_indices = self._line_indices(stats.miss_lines)
-        clb_misses = self.clb_miss_count(config.cache_bytes, config.clb_entries)
-        ccrp_refill = (
-            engine.ccrp_miss_cycles(miss_line_indices)
-            + clb_misses * engine.lat_fetch_cycles
-        )
         ccrp_traffic = (
             engine.ccrp_fetched_bytes(miss_line_indices) + clb_misses * ENTRY_BYTES
         )
@@ -174,6 +281,7 @@ class ProgramStudy:
             misses=stats.misses,
             accesses=stats.accesses,
             clb_misses=clb_misses,
+            **timing_fields,
         )
 
         return ComparisonReport(

@@ -35,6 +35,7 @@ def _registry() -> dict[str, Callable[[], object]]:
     from repro.experiments.extensions import run_extensions
     from repro.experiments.figure5 import run_figure5
     from repro.experiments.figure9 import run_figure9
+    from repro.experiments.pipeline_validation import run_pipeline_validation
     from repro.experiments.tables1_8 import run_tables1_8
     from repro.experiments.tables9_10 import run_tables9_10
     from repro.experiments.tables11_13 import run_tables11_13
@@ -50,6 +51,7 @@ def _registry() -> dict[str, Callable[[], object]]:
         "dense-isa": run_dense_isa,
         "bus-width": run_bus_width,
         "cross-isa": run_cross_isa,
+        "pipeline-validation": run_pipeline_validation,
     }
 
 
@@ -65,19 +67,26 @@ class ExperimentOutcome:
 
 
 def _run_single(
-    name: str, use_cache: bool = True, isolate_metrics: bool = False
+    name: str,
+    use_cache: bool = True,
+    isolate_metrics: bool = False,
+    timing: str = "additive",
 ) -> ExperimentOutcome:
     """Run one experiment and package its result for printing/export.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it.  Workers
     pass ``isolate_metrics=True``: the registry is reset before the run
     and its snapshot travels back for the parent to merge, so pooled
-    workers that run several experiments never double-report.
+    workers that run several experiments never double-report.  The
+    ``timing`` backend travels the same way: workers are fresh
+    processes, so the parent's default must be re-applied in each.
     """
     from repro.core import artifacts
+    from repro.core.config import set_default_timing
     from repro.core.metrics import METRICS
     from repro.experiments.export import result_to_dict
 
+    set_default_timing(timing)
     if not use_cache:
         artifacts.set_cache_enabled(False)
     if isolate_metrics:
@@ -142,9 +151,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="bypass the on-disk artifact cache for this run",
     )
+    parser.add_argument(
+        "--timing",
+        choices=("additive", "pipeline"),
+        default="additive",
+        help="timing backend every experiment's configs default to: the "
+        "paper's additive stall model or the cycle-accurate 5-stage "
+        "pipeline (see docs/modeling_notes.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be at least 1")
+
+    from repro.core.config import set_default_timing
+
+    set_default_timing(args.timing)
 
     names = list(registry) if "all" in args.experiments else _dedupe(args.experiments)
     # Clamp to the CPU count and the task count: asking for more workers
@@ -175,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
                         name,
                         use_cache=not args.no_cache,
                         isolate_metrics=True,
+                        timing=args.timing,
                     )
                     for name in names
                 ]
@@ -185,7 +207,9 @@ def main(argv: list[str] | None = None) -> int:
                     _finish(outcome)
         else:
             for name in names:
-                outcome = _run_single(name, use_cache=not args.no_cache)
+                outcome = _run_single(
+                    name, use_cache=not args.no_cache, timing=args.timing
+                )
                 outcomes.append(outcome)
                 _finish(outcome)
 
@@ -200,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
             extra={
                 "jobs": args.jobs,
                 "jobs_effective": jobs_effective,
+                "timing": args.timing,
                 "cache": cache_state,
                 "total_wall_seconds": time.perf_counter() - overall_started,
                 "experiments": {

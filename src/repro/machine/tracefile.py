@@ -5,6 +5,16 @@ trace-driven *simulation* (run many times over the parameter space).
 These helpers give the library the same separation across processes: an
 ``.npz`` container holds the address stream plus the metadata the
 simulators need, so expensive executions can be archived and replayed.
+
+Two container layouts share one format version field:
+
+* **flat** — the materialised per-instruction address stream (all of
+  format version 1, and version-2 files of per-instruction traces);
+* **block** — the :class:`~repro.machine.tracing.BlockTrace` backing
+  recorded by the superop engine: the event stream plus the per-block
+  static address arrays (stored concatenated, with a length vector).
+  Saving the block form is much smaller for loopy programs and reloads
+  into a trace whose flat addresses still materialise lazily.
 """
 
 from __future__ import annotations
@@ -14,39 +24,88 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ReproError
-from repro.machine.tracing import ExecutionTrace
+from repro.machine.tracing import BlockTrace, ExecutionTrace
 
-#: Container format version, checked on load.
-FORMAT_VERSION = 1
+#: Container format version, checked on load.  Version 1 held only flat
+#: address streams; version 2 adds the block-backed layout.
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_trace` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def save_trace(trace: ExecutionTrace, path: str | Path) -> Path:
-    """Write ``trace`` to ``path`` (.npz is appended if missing)."""
+    """Write ``trace`` to ``path`` (.npz is appended if missing).
+
+    A block-backed trace is saved in block form — the flat stream is
+    *not* materialised; a flat trace is saved flat.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
-    np.savez_compressed(
-        path,
-        addresses=trace.addresses,
-        meta=np.array([FORMAT_VERSION, trace.text_base, trace.text_size], dtype=np.int64),
+    meta = np.array(
+        [FORMAT_VERSION, trace.text_base, trace.text_size], dtype=np.int64
     )
+    blocks = trace.blocks
+    if blocks is not None:
+        lengths = blocks.block_lengths
+        concatenated = (
+            np.concatenate(
+                [a.astype(np.uint32, copy=False) for a in blocks.block_addresses]
+            )
+            if len(blocks.block_addresses)
+            else np.empty(0, dtype=np.uint32)
+        )
+        np.savez_compressed(
+            path,
+            meta=meta,
+            events=blocks.events.astype(np.int32, copy=False),
+            block_addresses=concatenated,
+            block_lengths=lengths,
+        )
+    else:
+        np.savez_compressed(path, meta=meta, addresses=trace.addresses)
     return path
 
 
 def load_trace(path: str | Path) -> ExecutionTrace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` (any supported version)."""
     path = Path(path)
     try:
         with np.load(path) as archive:
             meta = archive["meta"]
-            addresses = archive["addresses"]
+            names = set(archive.files)
+            arrays = {name: archive[name] for name in names - {"meta"}}
     except (OSError, KeyError, ValueError) as error:
         raise ReproError(f"not a trace file: {path} ({error})") from None
     version, text_base, text_size = (int(value) for value in meta)
-    if version != FORMAT_VERSION:
-        raise ReproError(f"unsupported trace format version {version}")
+    if version not in SUPPORTED_VERSIONS:
+        raise ReproError(
+            f"unsupported trace format version {version} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
+    if "events" in arrays:
+        lengths = arrays["block_lengths"].astype(np.int64)
+        concatenated = arrays["block_addresses"].astype(np.uint32)
+        if int(lengths.sum()) != len(concatenated):
+            raise ReproError(
+                f"corrupt trace file: {path} (block lengths sum to "
+                f"{int(lengths.sum())} but {len(concatenated)} addresses stored)"
+            )
+        offsets = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        block_addresses = tuple(
+            concatenated[offsets[i] : offsets[i + 1]] for i in range(len(lengths))
+        )
+        blocks = BlockTrace(
+            events=arrays["events"].astype(np.int32),
+            block_addresses=block_addresses,
+            text_base=text_base,
+            text_size=text_size,
+        )
+        return ExecutionTrace(blocks=blocks, text_base=text_base, text_size=text_size)
     return ExecutionTrace(
-        addresses=addresses.astype(np.uint32),
+        addresses=arrays["addresses"].astype(np.uint32),
         text_base=text_base,
         text_size=text_size,
     )

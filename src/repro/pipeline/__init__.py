@@ -1,0 +1,48 @@
+"""Cycle-accurate 5-stage R2000 pipeline timing (IF/ID/EX/MEM/WB).
+
+The additive model in :mod:`repro.machine.stalls` charges every
+long-latency instruction its full result latency, and the study layer
+adds averaged refill costs on top — fetch timing and intra-pipeline
+hazards never interact.  This package models the pipeline itself:
+
+* :mod:`repro.pipeline.hazards` — register read/write sets, interlock
+  and forwarding rules (:class:`HazardModel`);
+* :mod:`repro.pipeline.datapath` — the stage state machine: an exact
+  in-order scoreboard replay of a dynamic trace
+  (:func:`simulate_pipeline`);
+* :mod:`repro.pipeline.frontend` — the fetch unit over instruction
+  cache + CLB + :class:`~repro.ccrp.refill.RefillEngine`, so a cache
+  miss freezes the pipeline for the exact per-line refill cost
+  (:class:`FetchUnit`, with a critical-word-first modelled extension);
+* :mod:`repro.pipeline.timeline` — vectorized replay over basic-block
+  execution counts (:func:`replay_trace`) so whole-suite runs stay
+  fast.
+
+The paper notes the pipeline "is not allowed to slide" during fetch
+delays (Section 4.1): a refill freezes every stage, so refill cycles
+add to — never overlap with — hazard stalls.  The timeline exploits
+exactly that property to stay vectorized.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.datapath import (
+    PIPELINE_FILL_CYCLES,
+    PipelineResult,
+    simulate_pipeline,
+)
+from repro.pipeline.frontend import FetchUnit, miss_mask
+from repro.pipeline.hazards import HazardModel, R2000_HAZARDS
+from repro.pipeline.timeline import BlockTable, replay_trace
+
+__all__ = [
+    "PIPELINE_FILL_CYCLES",
+    "PipelineResult",
+    "simulate_pipeline",
+    "FetchUnit",
+    "miss_mask",
+    "HazardModel",
+    "R2000_HAZARDS",
+    "BlockTable",
+    "replay_trace",
+]

@@ -1,0 +1,246 @@
+"""The 5-stage pipeline state machine and its exact trace replay.
+
+Model
+-----
+
+An in-order IF/ID/EX/MEM/WB pipeline with a full bypass network issues
+one instruction per cycle unless an interlock holds it: instruction *k*
+enters EX at
+
+``issue(k) = max(issue(k-1) + 1, ready(sources), unit_busy) [+ redirect]``
+
+where ``ready`` comes from the producers' result latencies
+(:meth:`~repro.pipeline.hazards.HazardModel.result_latency`) and
+``unit_busy`` covers the multiply/divide unit and the unpipelined FP
+coprocessor.  A dynamic-stream discontinuity (the next instruction is
+not the fall-through) means a control transfer actually redirected
+fetch; it charges ``taken_branch_penalty`` squashed-fetch cycles.
+
+Fetch freezes, not slides
+-------------------------
+
+The paper states the pipeline "is not allowed to slide" during fetch
+delays (Section 4.1): a cache-miss refill gates the clock of every
+stage, so in-flight results make no progress while the front end waits.
+A freeze therefore shifts the whole pipeline timebase uniformly and can
+never hide (or be hidden by) a hazard stall.  That gives the exact
+decomposition this module and :mod:`repro.pipeline.timeline` share::
+
+    total = issue + fill + hazard + branch + fetch
+
+with each term computed independently.  :func:`simulate_pipeline` walks
+the dynamic stream one instruction at a time — the reference the
+vectorized timeline is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.isa.instruction import Instruction
+from repro.pipeline.hazards import (
+    HazardModel,
+    NUM_RESOURCES,
+    R2000_HAZARDS,
+    register_effects,
+)
+
+#: Cycles to fill/drain the pipeline around the issue stream: a 5-stage
+#: pipeline completes N instructions in N + 4 cycles.
+PIPELINE_FILL_CYCLES = 4
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Cycle totals of one pipeline replay, by cause.
+
+    Attributes:
+        issue_cycles: One cycle per dynamic instruction.
+        fill_cycles: Pipeline fill/drain (4, charged once per run).
+        hazard_stall_cycles: Data-hazard and structural interlocks.
+        branch_stall_cycles: Squashed fetches after taken transfers.
+        fetch_stall_cycles: Front-end freezes (cache refills, including
+            any CLB/LAT penalty) — 0 when no fetch unit is attached.
+        clb_penalty_cycles: The CLB-miss share of ``fetch_stall_cycles``.
+        fetch_misses: Instruction-cache misses seen by the fetch unit.
+    """
+
+    issue_cycles: int
+    fill_cycles: int
+    hazard_stall_cycles: int
+    branch_stall_cycles: int
+    fetch_stall_cycles: int = 0
+    clb_penalty_cycles: int = 0
+    fetch_misses: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles (excluding data-access penalties)."""
+        return (
+            self.issue_cycles
+            + self.fill_cycles
+            + self.hazard_stall_cycles
+            + self.branch_stall_cycles
+            + self.fetch_stall_cycles
+        )
+
+    def breakdown(self) -> dict[str, int]:
+        """Per-category cycle counters (for ``--metrics`` reports)."""
+        return {
+            "issue": self.issue_cycles,
+            "fill": self.fill_cycles,
+            "hazard": self.hazard_stall_cycles,
+            "branch": self.branch_stall_cycles,
+            "fetch": self.fetch_stall_cycles,
+            "clb_penalty": self.clb_penalty_cycles,
+            "total": self.total_cycles,
+        }
+
+
+class ProgramTiming:
+    """Per-static-instruction hazard data, derived once per program.
+
+    Attributes:
+        reads: Scoreboard indices each instruction reads.
+        writes: Scoreboard indices each instruction writes.
+        latency: Issue-to-forwardable result latency.
+        fp_unit: Whether the instruction occupies the FP coprocessor.
+        multdiv: Whether the instruction occupies the multiply/divide unit.
+    """
+
+    def __init__(
+        self,
+        instructions: tuple[Instruction, ...],
+        hazards: HazardModel = R2000_HAZARDS,
+    ) -> None:
+        self.hazards = hazards
+        self.reads: list[tuple[int, ...]] = []
+        self.writes: list[tuple[int, ...]] = []
+        self.latency: list[int] = []
+        self.fp_unit: list[bool] = []
+        self.multdiv: list[bool] = []
+        fp_pipelined = hazards.fp_pipelined
+        for instruction in instructions:
+            spec = instruction.spec
+            effects = register_effects(instruction)
+            self.reads.append(effects.reads)
+            self.writes.append(effects.writes)
+            self.latency.append(hazards.result_latency(spec))
+            self.fp_unit.append(not fp_pipelined and hazards.occupies_fp_unit(spec))
+            self.multdiv.append(spec.category.value == "multdiv")
+
+
+class Scoreboard:
+    """Issue-time bookkeeping of the datapath (hazards only).
+
+    Operates in the *unfrozen* timebase: fetch freezes gate every stage
+    at once, so they are accounted outside (see module docstring).
+    """
+
+    def __init__(self, timing: ProgramTiming) -> None:
+        self.timing = timing
+        self.reset()
+
+    def reset(self) -> None:
+        self._ready = [0] * NUM_RESOURCES
+        self._multdiv_busy = 0
+        self._fp_busy = 0
+        self._time = -1  # so the first instruction issues at cycle 0
+
+    def issue(self, index: int) -> int:
+        """Issue static instruction ``index``; returns its stall cycles."""
+        timing = self.timing
+        base = self._time + 1
+        start = base
+        ready = self._ready
+        for resource in timing.reads[index]:
+            when = ready[resource]
+            if when > start:
+                start = when
+        if timing.multdiv[index] and self._multdiv_busy > start:
+            start = self._multdiv_busy
+        if timing.fp_unit[index] and self._fp_busy > start:
+            start = self._fp_busy
+        done = start + timing.latency[index]
+        for resource in timing.writes[index]:
+            ready[resource] = done
+        if timing.multdiv[index]:
+            self._multdiv_busy = done
+        if timing.fp_unit[index]:
+            self._fp_busy = done
+        self._time = start
+        return start - base
+
+    def bubble(self, cycles: int) -> None:
+        """Inject ``cycles`` empty issue slots (taken-branch redirect)."""
+        self._time += cycles
+
+    def run(self, indices) -> int:
+        """Total hazard stalls of issuing ``indices`` back to back."""
+        total = 0
+        for index in indices:
+            total += self.issue(index)
+        return total
+
+
+def simulate_pipeline(
+    instructions: tuple[Instruction, ...],
+    instruction_indices: np.ndarray,
+    hazards: HazardModel = R2000_HAZARDS,
+    frontend=None,
+    text_base: int = 0,
+) -> PipelineResult:
+    """Exact cycle-accurate replay of a dynamic instruction stream.
+
+    Args:
+        instructions: The program's static instruction list.
+        instruction_indices: Static instruction index per dynamic
+            instruction, in execution order (see
+            :attr:`~repro.machine.tracing.ExecutionTrace.instruction_indices`).
+        hazards: Interlock parameters.
+        frontend: Optional :class:`~repro.pipeline.frontend.FetchUnit`;
+            when given, every access runs through it and misses freeze
+            the pipeline for the exact refill cost.
+        text_base: Text-segment load address (to turn indices back into
+            fetch addresses for the front end).
+
+    This is the reference implementation — a Python loop per dynamic
+    instruction.  Use :func:`repro.pipeline.timeline.replay_trace` for
+    whole-suite runs.
+    """
+    indices = np.asarray(instruction_indices)
+    if len(indices) and (indices.min() < 0 or indices.max() >= len(instructions)):
+        raise ConfigurationError(
+            f"trace references instruction {int(indices.max())} outside the "
+            f"{len(instructions)}-instruction program"
+        )
+    timing = ProgramTiming(instructions, hazards)
+    scoreboard = Scoreboard(timing)
+    penalty = hazards.taken_branch_penalty
+
+    hazard_stalls = 0
+    branch_stalls = 0
+    fetch_stalls = 0
+    previous = None
+    for index in indices.tolist():
+        if previous is not None and index != previous + 1:
+            branch_stalls += penalty
+            scoreboard.bubble(penalty)
+        if frontend is not None:
+            fetch_stalls += frontend.fetch(text_base + 4 * index)
+        hazard_stalls += scoreboard.issue(index)
+        previous = index
+
+    issue = len(indices)
+    return PipelineResult(
+        issue_cycles=issue,
+        fill_cycles=PIPELINE_FILL_CYCLES if issue else 0,
+        hazard_stall_cycles=hazard_stalls,
+        branch_stall_cycles=branch_stalls,
+        fetch_stall_cycles=fetch_stalls,
+        clb_penalty_cycles=frontend.clb_penalty_cycles if frontend is not None else 0,
+        fetch_misses=frontend.misses if frontend is not None else 0,
+    )

@@ -1,0 +1,222 @@
+"""Interlock and forwarding rules for the 5-stage pipeline model.
+
+The datapath needs two things about every instruction: which registers
+it reads and writes (to detect data hazards through the bypass network)
+and how many cycles separate its issue from its result becoming
+forwardable.  Both are static properties of the
+:class:`~repro.isa.opcodes.InstructionSpec`, derived here once per spec
+and memoised.
+
+Register name space (a single scoreboard index per architectural
+resource):
+
+* ``0-31``   — integer registers (``$0`` is dropped: reads are always
+  ready, writes are discarded);
+* ``32-63``  — FP registers ``$f0-$f31`` (double-precision operands
+  occupy the even/odd pair, and both halves are tracked);
+* ``64/65``  — ``HI`` / ``LO``;
+* ``66``     — the FP condition flag read by ``bc1t``/``bc1f``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    COP1_MFC1,
+    COP1_MTC1,
+    Category,
+    FMT_DOUBLE,
+    InstructionFormat,
+    InstructionSpec,
+)
+from repro.machine.stalls import _R2000_EXTRA_CYCLES
+
+#: Scoreboard indices of the non-GPR resources.
+FP_BASE = 32
+HI = 64
+LO = 65
+FP_FLAG = 66
+NUM_RESOURCES = 67
+
+
+@dataclass(frozen=True)
+class RegisterEffects:
+    """Registers an instruction reads and writes (scoreboard indices)."""
+
+    reads: tuple[int, ...]
+    writes: tuple[int, ...]
+
+
+def _gpr(number: int) -> tuple[int, ...]:
+    """A GPR as a read/write set; ``$0`` is never a real dependency."""
+    return (number,) if number else ()
+
+
+def _fp(number: int, double: bool) -> tuple[int, ...]:
+    """An FP register (and its pair half for double-precision)."""
+    if double:
+        even = number & ~1
+        return (FP_BASE + even, FP_BASE + even + 1)
+    return (FP_BASE + number,)
+
+
+def register_effects(instruction: Instruction) -> RegisterEffects:
+    """Read/write sets of one concrete instruction.
+
+    Derived from the operand-signature key, which pins down the role of
+    every encoded field (see :mod:`repro.isa.opcodes`).
+    """
+    spec = instruction.spec
+    category = spec.category
+    operands = spec.operands
+    double = spec.fmt == FMT_DOUBLE
+
+    if category in (Category.ALU, Category.SHIFT):
+        if operands == "rd,rs,rt":
+            return RegisterEffects(_gpr(instruction.rs) + _gpr(instruction.rt), _gpr(instruction.rd))
+        if operands == "rd,rt,sha":
+            return RegisterEffects(_gpr(instruction.rt), _gpr(instruction.rd))
+        if operands == "rd,rt,rs":
+            return RegisterEffects(_gpr(instruction.rt) + _gpr(instruction.rs), _gpr(instruction.rd))
+        if operands == "rt,uimm":  # lui
+            return RegisterEffects((), _gpr(instruction.rt))
+        return RegisterEffects(_gpr(instruction.rs), _gpr(instruction.rt))  # rt,rs,imm
+    if category is Category.LOAD:
+        return RegisterEffects(_gpr(instruction.rs), _gpr(instruction.rt))
+    if category is Category.STORE:
+        return RegisterEffects(_gpr(instruction.rs) + _gpr(instruction.rt), ())
+    if category is Category.BRANCH:
+        if operands == "rs,rt,rel":
+            return RegisterEffects(_gpr(instruction.rs) + _gpr(instruction.rt), ())
+        return RegisterEffects(_gpr(instruction.rs), ())
+    if category is Category.JUMP:
+        return RegisterEffects((), ())
+    if category is Category.CALL:
+        if spec.format is InstructionFormat.J:  # jal
+            return RegisterEffects((), (31,))
+        if operands == "rd,rs":  # jalr
+            return RegisterEffects(_gpr(instruction.rs), _gpr(instruction.rd))
+        return RegisterEffects(_gpr(instruction.rs), (31,))  # bltzal/bgezal
+    if category is Category.JUMP_REG:
+        return RegisterEffects(_gpr(instruction.rs), ())
+    if category is Category.MULTDIV:
+        return RegisterEffects(_gpr(instruction.rs) + _gpr(instruction.rt), (HI, LO))
+    if category is Category.HILO:
+        if spec.mnemonic == "mfhi":
+            return RegisterEffects((HI,), _gpr(instruction.rd))
+        if spec.mnemonic == "mflo":
+            return RegisterEffects((LO,), _gpr(instruction.rd))
+        if spec.mnemonic == "mthi":
+            return RegisterEffects(_gpr(instruction.rs), (HI,))
+        return RegisterEffects(_gpr(instruction.rs), (LO,))  # mtlo
+    if category is Category.FP_LOAD:  # lwc1 ft, off(rs)
+        return RegisterEffects(_gpr(instruction.rs), _fp(instruction.rt, False))
+    if category is Category.FP_STORE:  # swc1
+        return RegisterEffects(_gpr(instruction.rs) + _fp(instruction.rt, False), ())
+    if category is Category.FP_ARITH:
+        if spec.operands == "fd,fs":  # abs/neg/mov-style two-operand ops
+            return RegisterEffects(_fp(instruction.rd, double), _fp(instruction.shamt, double))
+        return RegisterEffects(
+            _fp(instruction.rd, double) + _fp(instruction.rt, double),
+            _fp(instruction.shamt, double),
+        )
+    if category is Category.FP_CONVERT:
+        source_double = spec.fmt == FMT_DOUBLE
+        result_double = spec.mnemonic.startswith("cvt.d")
+        return RegisterEffects(
+            _fp(instruction.rd, source_double), _fp(instruction.shamt, result_double)
+        )
+    if category is Category.FP_COMPARE:
+        return RegisterEffects(
+            _fp(instruction.rd, double) + _fp(instruction.rt, double), (FP_FLAG,)
+        )
+    if category is Category.FP_BRANCH:
+        return RegisterEffects((FP_FLAG,), ())
+    if category is Category.FP_MOVE:
+        if spec.selector == COP1_MFC1:
+            return RegisterEffects(_fp(instruction.rd, False), _gpr(instruction.rt))
+        if spec.selector == COP1_MTC1:
+            return RegisterEffects(_gpr(instruction.rt), _fp(instruction.rd, False))
+        return RegisterEffects(_fp(instruction.rd, double), _fp(instruction.shamt, double))
+    return RegisterEffects((), ())  # syscall / break
+
+
+@dataclass(frozen=True)
+class HazardModel:
+    """Interlock parameters of the 5-stage pipeline.
+
+    The EX stage has a full bypass network, so a single-cycle result is
+    forwardable to the immediately following instruction — only longer
+    latencies stall.  Latency semantics: an instruction issuing at cycle
+    ``t`` makes its result available to a consumer issuing at
+    ``t + result_latency``; a consumer arriving earlier waits.
+
+    Attributes:
+        load_latency: Issue-to-forwardable latency of loads (2: the
+            value exits MEM one cycle after EX, the classic one-bubble
+            load-use interlock).
+        mult_latency: Cycles until HI/LO are readable after a multiply.
+        div_latency: Cycles until HI/LO are readable after a divide.
+        fp_extra_cycles: Per-mnemonic extra cycles of the FP coprocessor
+            (defaults to the shared ``_R2000_EXTRA_CYCLES`` table); the
+            result latency is ``1 + extra``.
+        fp_pipelined: When ``False`` (the R2010 is not fully pipelined)
+            the coprocessor is busy until its current result completes,
+            so back-to-back FP operations serialise even without a
+            register dependence.
+        taken_branch_penalty: Squashed fetch cycles when control
+            actually redirects.  The branch resolves at the end of EX;
+            the architectural delay slot hides one of the two redirect
+            bubbles, leaving one.  Set to 0 for the idealised R2000
+            early-resolve behaviour the paper's pixie counts assume.
+    """
+
+    load_latency: int = 2
+    mult_latency: int = 12
+    div_latency: int = 35
+    fp_extra_cycles: dict[str, int] = field(
+        default_factory=lambda: {
+            mnemonic: cycles
+            for mnemonic, cycles in _R2000_EXTRA_CYCLES.items()
+            if mnemonic not in ("mult", "multu", "div", "divu")
+        }
+    )
+    fp_pipelined: bool = False
+    taken_branch_penalty: int = 1
+
+    def result_latency(self, spec: InstructionSpec) -> int:
+        """Issue-to-forwardable latency of one instruction's results."""
+        category = spec.category
+        if category in (Category.LOAD, Category.FP_LOAD):
+            return self.load_latency
+        if category is Category.MULTDIV:
+            return self.div_latency if spec.mnemonic in ("div", "divu") else self.mult_latency
+        if category in (Category.FP_ARITH, Category.FP_CONVERT, Category.FP_COMPARE):
+            return 1 + self.fp_extra_cycles.get(spec.mnemonic, 0)
+        return 1
+
+    def occupies_fp_unit(self, spec: InstructionSpec) -> bool:
+        """Whether the instruction ties up the (unpipelined) FP unit."""
+        return spec.category in (
+            Category.FP_ARITH,
+            Category.FP_CONVERT,
+            Category.FP_COMPARE,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identity for artifact-cache keys (process-independent)."""
+        import hashlib
+
+        fp_digest = hashlib.sha256(
+            repr(sorted(self.fp_extra_cycles.items())).encode()
+        ).hexdigest()[:12]
+        return (
+            f"{self.load_latency}/{self.mult_latency}/{self.div_latency}/"
+            f"{self.fp_pipelined}/{self.taken_branch_penalty}/{fp_digest}"
+        )
+
+
+#: The default hazard model used by the pipeline timing backend.
+R2000_HAZARDS = HazardModel()

@@ -3,13 +3,44 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.isa.assembler import Assembler
 from repro.machine.executor import Machine
 from repro.machine.profile import profile
+
+
+def _pipeline_report(program, result, memory_name: str, cache_bytes: int) -> dict:
+    """Cycle totals of the standard machine under the pipeline backend.
+
+    The fetch path is the baseline one (no compression): misses of a
+    direct-mapped cache each freeze the pipeline for one full-line burst
+    of the chosen memory model.
+    """
+    from repro.cache.direct_mapped import simulate_trace
+    from repro.memsys.models import get_memory_model
+    from repro.pipeline.timeline import BlockTable, replay_trace
+
+    memory = get_memory_model(memory_name)
+    line_size = 32
+    stats = simulate_trace(result.trace.addresses, cache_bytes, line_size)
+    fetch_stalls = stats.misses * memory.bytes_read_cycles(line_size)
+    table = BlockTable(program.instructions, text_base=program.text_base)
+    replay = replay_trace(
+        result.trace,
+        program.instructions,
+        block_table=table,
+        fetch_stall_cycles=fetch_stalls,
+        fetch_misses=stats.misses,
+    )
+    report = replay.breakdown()
+    report["memory"] = memory.name
+    report["cache_bytes"] = cache_bytes
+    report["misses"] = stats.misses
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,13 +59,53 @@ def main(argv: list[str] | None = None) -> int:
         help="truncate instead of failing when the limit is hit",
     )
     parser.add_argument("--profile", action="store_true", help="print a pixie-style profile")
+    parser.add_argument(
+        "--timing",
+        default="additive",
+        metavar="{additive,pipeline}",
+        help="timing backend for the cycle report (default: additive)",
+    )
+    parser.add_argument(
+        "--memory",
+        default="eprom",
+        metavar="{eprom,burst_eprom,sc_dram}",
+        help="instruction-memory model for --timing pipeline fetch stalls",
+    )
+    parser.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=1024,
+        help="instruction-cache size for --timing pipeline (default: 1024)",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=Path,
+        metavar="FILE",
+        help="write the per-category stall counters as JSON",
+    )
     args = parser.parse_args(argv)
 
     try:
+        # Validate the configuration up front so a typo in --timing or
+        # --memory fails with a clear one-line error and a nonzero exit,
+        # not an exception spill halfway through a long execution.
+        from repro.core.config import validate_timing
+        from repro.memsys.models import get_memory_model
+
+        validate_timing(args.timing)
+        get_memory_model(args.memory)
+        if args.cache_bytes < 32:
+            raise ConfigurationError(
+                f"--cache-bytes must hold at least one 32 B line, got {args.cache_bytes}"
+            )
+
         program = Assembler().assemble(args.source.read_text())
         result = Machine(program).run(
             max_instructions=args.max_instructions, stop_at_limit=args.stop_at_limit
         )
+        report = None
+        if args.timing == "pipeline":
+            report = _pipeline_report(program, result, args.memory, args.cache_bytes)
     except (OSError, ReproError) as error:
         print(f"ccrp-run: {error}", file=sys.stderr)
         return 1
@@ -45,6 +116,24 @@ def main(argv: list[str] | None = None) -> int:
         f"[exit {result.exit_code}; {result.instructions_executed:,} instructions, "
         f"{result.data_accesses:,} data accesses, {result.stall_cycles:,} stall cycles]"
     )
+    if report is not None:
+        print(
+            f"[pipeline @ {report['memory']}/{report['cache_bytes']} B cache: "
+            f"{report['total']:,} cycles = {report['issue']:,} issue "
+            f"+ {report['fill']} fill + {report['hazard']:,} hazard "
+            f"+ {report['branch']:,} branch + {report['fetch']:,} fetch "
+            f"({report['misses']:,} misses)]"
+        )
+    if args.metrics:
+        payload = {
+            "timing": args.timing,
+            "instructions": result.instructions_executed,
+            "additive_stall_cycles": result.stall_cycles,
+        }
+        if report is not None:
+            payload["pipeline"] = report
+        args.metrics.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote metrics to {args.metrics}]")
     if args.profile:
         print()
         print(profile(result, program).render())

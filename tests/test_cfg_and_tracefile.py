@@ -148,3 +148,53 @@ class TestTraceFile:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ReproError):
             load_trace(tmp_path / "nope.npz")
+
+    def test_block_trace_round_trip(self, program, tmp_path):
+        """A block-backed trace survives save/load without materialising."""
+        trace = Machine(program).run().trace
+        assert trace.blocks is not None  # the superop engine records blocks
+        path = save_trace(trace, tmp_path / "blocks")
+        loaded = load_trace(path)
+        assert loaded.blocks is not None
+        assert np.array_equal(loaded.blocks.events, trace.blocks.events)
+        assert len(loaded.blocks.block_addresses) == len(trace.blocks.block_addresses)
+        for ours, theirs in zip(
+            loaded.blocks.block_addresses, trace.blocks.block_addresses
+        ):
+            assert np.array_equal(ours, theirs)
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert len(loaded) == len(trace)
+
+    def test_v1_flat_file_still_loads(self, program, tmp_path):
+        """Format-version-1 archives (flat only) stay readable."""
+        trace = Machine(program).run().trace
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            addresses=trace.addresses,
+            meta=np.array([1, trace.text_base, trace.text_size], dtype=np.int64),
+        )
+        loaded = load_trace(path)
+        assert loaded.blocks is None
+        assert np.array_equal(loaded.addresses, trace.addresses)
+
+    def test_future_version_rejected(self, program, tmp_path):
+        trace = Machine(program).run().trace
+        path = tmp_path / "v9.npz"
+        np.savez_compressed(
+            path,
+            addresses=trace.addresses,
+            meta=np.array([9, trace.text_base, trace.text_size], dtype=np.int64),
+        )
+        with pytest.raises(ReproError, match="version 9"):
+            load_trace(path)
+
+    def test_corrupt_block_lengths_rejected(self, program, tmp_path):
+        trace = Machine(program).run().trace
+        path = save_trace(trace, tmp_path / "blocks")
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        arrays["block_lengths"] = arrays["block_lengths"] + 1
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ReproError, match="corrupt"):
+            load_trace(path)
