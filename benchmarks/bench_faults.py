@@ -1,0 +1,154 @@
+"""Benchmark: fault-injection throughput and the robustness property gate.
+
+Measures the *fault substrate*, not the paper's results: injection rate
+of the seeded :class:`~repro.faults.injector.FaultInjector`, CRC-8
+throughput of the integrity layer, and end-to-end blast-radius trials
+per second for the block codec and the whole-file LZW path — while
+re-asserting the properties the ``ccrp-faults --smoke`` CI gate checks
+(single faults bounded to one line under block codecs with 100 %
+bit-flip detection; LZW corruption not line-bounded).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+
+and it writes ``BENCH_faults.json``.  ``--smoke`` runs a reduced trial
+count and fails on any property violation (CI-compatible);
+``--metrics FILE`` writes the record to an extra location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+DEFAULT_TRIALS = 200
+SMOKE_TRIALS = 25
+CRC_PAYLOAD = 1 << 20  # 1 MiB of CRC-8 input
+SEED = 1992
+
+
+def _rate(count: int, thunk) -> tuple[float, object]:
+    started = time.perf_counter()
+    value = thunk()
+    elapsed = time.perf_counter() - started
+    return count / elapsed if elapsed else float("inf"), value
+
+
+def run_benchmark(trials: int) -> dict:
+    from repro.core.standard import standard_code
+    from repro.faults.checker import blast_block_codec, blast_lzw
+    from repro.faults.injector import FaultInjector
+    from repro.faults.integrity import crc8
+    from repro.workloads.suite import load
+
+    text = load("eightq").text
+    code = standard_code()
+
+    injector = FaultInjector(SEED)
+    inject_rate, _ = _rate(
+        trials * 3,
+        lambda: [
+            injector.inject(text, model)
+            for model in ("bit_flip", "byte", "burst")
+            for _ in range(trials)
+        ],
+    )
+
+    payload = bytes(range(256)) * (CRC_PAYLOAD // 256)
+    crc_seconds_start = time.perf_counter()
+    crc8(payload)
+    crc_bytes_per_second = CRC_PAYLOAD / (time.perf_counter() - crc_seconds_start)
+
+    block_injector = FaultInjector(SEED + 1)
+    block_rate, block_reports = _rate(
+        trials,
+        lambda: [
+            blast_block_codec(code, text, block_injector, "bit_flip", "preselected")
+            for _ in range(trials)
+        ],
+    )
+    worst_block = max(report.blast_radius for report in block_reports)
+    undetected = sum(1 for report in block_reports if not report.detected)
+    if worst_block > 1:
+        raise SystemExit(
+            f"property violation: block-codec bit flip blast radius {worst_block} > 1"
+        )
+    if undetected:
+        raise SystemExit(
+            f"property violation: CRC-8 missed {undetected} single-bit faults"
+        )
+
+    lzw_injector = FaultInjector(SEED + 2)
+    lzw_rate, lzw_reports = _rate(
+        trials,
+        lambda: [blast_lzw(text, lzw_injector, "byte") for _ in range(trials)],
+    )
+    worst_lzw_span = max(report.span for report in lzw_reports)
+    if worst_lzw_span <= 1:
+        raise SystemExit(
+            "property violation: no LZW trial spread beyond one line "
+            f"({trials} trials)"
+        )
+
+    return {
+        "schema": "ccrp-bench-faults/1",
+        "trials": trials,
+        "seed": SEED,
+        "cpu_count": os.cpu_count(),
+        "program_bytes": len(text),
+        "injections_per_second": inject_rate,
+        "crc8_bytes_per_second": crc_bytes_per_second,
+        "block_trials_per_second": block_rate,
+        "lzw_trials_per_second": lzw_rate,
+        "worst_block_blast_radius": worst_block,
+        "worst_lzw_span_lines": worst_lzw_span,
+        "properties_hold": True,  # the checks above raise otherwise
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_faults.json",
+        help="where to write the benchmark record",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, help="also write the record to this path"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"reduced trial count ({SMOKE_TRIALS}); fail on property violations",
+    )
+    parser.add_argument("--trials", type=int, default=DEFAULT_TRIALS)
+    args = parser.parse_args(argv)
+
+    trials = SMOKE_TRIALS if args.smoke else args.trials
+    record = run_benchmark(trials)
+    payload = json.dumps(record, indent=2) + "\n"
+    args.output.write_text(payload)
+    if args.metrics:
+        args.metrics.write_text(payload)
+    print(
+        f"faults: {record['injections_per_second']:,.0f} injections/s, "
+        f"crc8 {record['crc8_bytes_per_second'] / 1e6:.1f} MB/s, "
+        f"block {record['block_trials_per_second']:.1f} trials/s "
+        f"(worst blast {record['worst_block_blast_radius']}), "
+        f"lzw {record['lzw_trials_per_second']:.1f} trials/s "
+        f"(worst span {record['worst_lzw_span_lines']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,9 @@ class ProgramCompressor:
         alignment: Compressed-block alignment (1 = byte, 4 = word).
         charge_code_table: Charge 256 bytes of code listing against each
             image (true for per-program codes, false for preselected).
+        integrity: Also emit the per-line CRC-8 table of
+            :mod:`repro.faults.integrity`, stored (and charged) with the
+            image so the refill path can verify every fetched block.
     """
 
     def __init__(
@@ -32,11 +35,13 @@ class ProgramCompressor:
         line_size: int = DEFAULT_LINE_SIZE,
         alignment: int = BYTE_ALIGNED,
         charge_code_table: bool = False,
+        integrity: bool = False,
     ) -> None:
         self.code = code
         self.block_compressor = BlockCompressor(code, line_size=line_size, alignment=alignment)
         self.line_size = line_size
         self.charge_code_table = charge_code_table
+        self.integrity = integrity
 
     def compress(
         self,
@@ -57,6 +62,11 @@ class ProgramCompressor:
         lat_storage = ((len(blocks) + 7) // 8) * 8
         code_base = lat_base + lat_storage
         lat = LineAddressTable(blocks, code_base=code_base)
+        crcs = None
+        if self.integrity:
+            from repro.faults.integrity import line_crcs
+
+            crcs = line_crcs(blocks)
         return CompressedImage(
             code=self.code,
             blocks=tuple(blocks),
@@ -67,4 +77,5 @@ class ProgramCompressor:
             line_size=self.line_size,
             original_size=len(text),
             charge_code_table=self.charge_code_table,
+            line_crcs=crcs,
         )

@@ -8,13 +8,29 @@ the length records to find the block, fetch the stored bytes, and run the
 Huffman decoder.  The end-to-end tests execute programs through it and
 require byte-identical instruction fetches, proving the paper's claim that
 compression is transparent to the processor.
+
+When the image carries a per-line CRC table (see
+:mod:`repro.faults.integrity`), the refill path verifies every fetched
+block before decoding it, under a configurable policy:
+
+* ``strict`` — a mismatch raises :class:`~repro.errors.IntegrityError`;
+* ``detect`` — mismatches are recorded in :attr:`integrity_events` (and
+  the ``integrity.detected`` metric) and the corrupt line is handed on;
+* ``off`` — no checking (the default, and the only option for images
+  built without an integrity layer).
+
+Fault studies pass a corrupted copy of the stored bytes via
+``memory_image`` — the equivalent of aging EPROM cells under an
+unchanged program.
 """
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, IntegrityError
 from repro.ccrp.clb import CLB
 from repro.ccrp.image import CompressedImage
+from repro.core.metrics import METRICS
+from repro.faults.integrity import crc8, validate_integrity_policy
 from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY, LATEntry
 
 
@@ -25,6 +41,11 @@ class ExpandingInstructionCache:
         image: The compressed program image.
         cache_bytes: Total cache capacity (256-4096 in the paper).
         clb_entries: CLB capacity in LAT entries.
+        integrity: Refill-time integrity policy (``strict``/``detect``/
+            ``off``).  Anything but ``off`` requires ``image.line_crcs``.
+        memory_image: What is actually burned into instruction memory;
+            defaults to ``image.memory_image()``.  Fault experiments pass
+            a corrupted copy here.
     """
 
     def __init__(
@@ -32,21 +53,39 @@ class ExpandingInstructionCache:
         image: CompressedImage,
         cache_bytes: int = 1024,
         clb_entries: int = 16,
+        integrity: str = "off",
+        memory_image: bytes | None = None,
     ) -> None:
         line_size = image.line_size
         if cache_bytes % line_size or cache_bytes < line_size:
             raise ConfigurationError(
                 f"cache size {cache_bytes} is not a multiple of the {line_size}-byte line"
             )
+        validate_integrity_policy(integrity)
+        if integrity != "off" and image.line_crcs is None:
+            raise ConfigurationError(
+                f"integrity policy {integrity!r} needs an image built with "
+                "per-line CRCs (ProgramCompressor(integrity=True))"
+            )
         self.image = image
         self.line_size = line_size
         self.num_sets = cache_bytes // line_size
         self.clb = CLB(entries=clb_entries)
-        self._memory = image.memory_image()  # starts at lat_base
+        self.integrity = integrity
+        self._memory = (
+            memory_image if memory_image is not None else image.memory_image()
+        )  # starts at lat_base
+        if len(self._memory) != len(image.memory_image()):
+            raise ConfigurationError(
+                "memory_image override must match the image layout "
+                f"({len(image.memory_image())} bytes, got {len(self._memory)})"
+            )
         self._tags: list[int | None] = [None] * self.num_sets
         self._lines: list[bytes] = [b""] * self.num_sets
         self.hits = 0
         self.misses = 0
+        #: ``(line_number, stored_crc, fetched_crc)`` per detected mismatch.
+        self.integrity_events: list[tuple[int, int, int]] = []
 
     # ------------------------------------------------------------------
     # Fetch path
@@ -96,9 +135,32 @@ class ExpandingInstructionCache:
         start = block_address - image.lat_base
         stored = bytes(self._memory[start : start + stored_size])
 
+        self._verify(block_index, line_number, stored)
+
         if not entry.is_compressed(slot):
             return stored
         return image.code.decode_fast(stored, self.line_size)
+
+    def _verify(self, block_index: int, line_number: int, stored: bytes) -> None:
+        """Check the fetched block against its per-line CRC.
+
+        Also catches LAT corruption indirectly: a corrupt entry makes the
+        walk fetch the wrong byte range, which then misses this CRC.
+        """
+        if self.integrity == "off":
+            return
+        expected = self.image.line_crcs[block_index]
+        actual = crc8(stored)
+        if actual == expected:
+            return
+        METRICS.count("integrity.detected")
+        self.integrity_events.append((line_number, expected, actual))
+        if self.integrity == "strict":
+            raise IntegrityError(
+                f"line {line_number}: stored block fails CRC "
+                f"(expected {expected:#04x}, fetched {actual:#04x})",
+                line_number=line_number,
+            )
 
     # ------------------------------------------------------------------
     # Statistics

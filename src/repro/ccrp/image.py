@@ -38,6 +38,10 @@ class CompressedImage:
         charge_code_table: Whether stored-size accounting includes a
             256-byte code listing (per-program codes need it; a
             preselected code is hard-wired and free).
+        line_crcs: Optional per-line CRC-8 table (one byte per block,
+            computed over the *stored* bytes) for refill-time integrity
+            checking; ``None`` means no integrity layer.  Charged to the
+            stored size exactly like the LAT when present.
     """
 
     code: HuffmanCode
@@ -49,6 +53,7 @@ class CompressedImage:
     line_size: int
     original_size: int
     charge_code_table: bool = False
+    line_crcs: bytes | None = None
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -70,9 +75,20 @@ class CompressedImage:
         return self.code.table_storage_bytes if self.charge_code_table else 0
 
     @property
+    def integrity_bytes(self) -> int:
+        """Bytes of the per-line CRC table (0 without an integrity layer)."""
+        return len(self.line_crcs) if self.line_crcs is not None else 0
+
+    @property
     def total_stored_bytes(self) -> int:
-        """Everything in instruction memory: blocks + LAT + code table."""
-        return self.compressed_code_bytes + self.lat.storage_bytes + self.code_table_bytes
+        """Everything in instruction memory: blocks + LAT + code table
+        + the per-line CRC table, when an integrity layer is present."""
+        return (
+            self.compressed_code_bytes
+            + self.lat.storage_bytes
+            + self.code_table_bytes
+            + self.integrity_bytes
+        )
 
     @property
     def compression_ratio(self) -> float:
@@ -85,8 +101,37 @@ class CompressedImage:
 
     @property
     def total_ratio_with_lat(self) -> float:
-        """Stored size including the LAT, over original size."""
+        """Stored size including the LAT (and any CRC table), over original size."""
         return self.total_stored_bytes / self.original_size
+
+    @property
+    def integrity_overhead_ratio(self) -> float:
+        """CRC-table bytes as a fraction of the padded original size.
+
+        One CRC byte per 32-byte line is 3.125 % — the same overhead
+        class as the LAT, and reported the same way.  Computed from the
+        line count so the *would-be* overhead is quotable even on an
+        image built without an integrity layer.
+        """
+        from repro.faults.integrity import INTEGRITY_BYTES_PER_LINE
+
+        if not self.blocks:
+            return 0.0
+        return (len(self.blocks) * INTEGRITY_BYTES_PER_LINE) / self.padded_original_size
+
+    @property
+    def total_ratio_with_integrity(self) -> float:
+        """Stored size with LAT *and* a per-line CRC table, over original.
+
+        Accounts the integrity overhead even when ``line_crcs`` is absent,
+        so experiments can quote "what protection would cost" uniformly.
+        """
+        if self.line_crcs is not None:
+            return self.total_ratio_with_lat
+        from repro.faults.integrity import INTEGRITY_BYTES_PER_LINE
+
+        extra = len(self.blocks) * INTEGRITY_BYTES_PER_LINE
+        return (self.total_stored_bytes + extra) / self.original_size
 
     # ------------------------------------------------------------------
     # Line bookkeeping

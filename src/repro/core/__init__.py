@@ -21,11 +21,12 @@ from repro.core.metrics import METRICS, MetricsRegistry
 from repro.core.performance import ComparisonReport, SystemMetrics
 from repro.core.standard import standard_code
 from repro.core.study import ProgramStudy, compare
-from repro.core.sweep import SweepResult, sweep, sweep_many
+from repro.core.sweep import FailureReport, SweepResult, sweep, sweep_many
 
 __all__ = [
     "ArtifactCache",
     "ComparisonReport",
+    "FailureReport",
     "METRICS",
     "MetricsRegistry",
     "ProgramStudy",

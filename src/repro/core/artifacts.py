@@ -49,7 +49,8 @@ ENV_NO_CACHE = "CCRP_NO_CACHE"
 
 #: Bump to invalidate every artifact when the pickled formats change.
 #: 2: ExecutionTrace grew a lazy block-trace backing (superop engine).
-FORMAT_VERSION = 2
+#: 3: CompressedImage grew the line_crcs integrity field.
+FORMAT_VERSION = 3
 
 #: Studies kept by the in-memory LRU used by :func:`get_study`.
 MAX_CACHED_STUDIES = 16
@@ -152,7 +153,10 @@ class ArtifactCache:
         except FileNotFoundError:
             return False, None
         except Exception:
-            # A truncated or stale pickle: drop it and recompute.
+            # A truncated or stale pickle: drop it and recompute.  Counted
+            # separately from plain misses so on-disk corruption is visible
+            # in --metrics dumps instead of silently masquerading as a miss.
+            METRICS.count("artifacts.evict")
             path.unlink(missing_ok=True)
             return False, None
         return True, value

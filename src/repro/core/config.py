@@ -66,6 +66,10 @@ class SystemConfig:
         critical_word_first: Resume the pipeline on critical-word
             arrival during refills (modelled extension; requires the
             pipeline backend).
+        integrity: Refill-time integrity policy (``"strict"``,
+            ``"detect"``, ``"off"``).  Any policy but ``off`` charges the
+            per-line CRC table (3.125 %, like the LAT) to the reported
+            compression ratio; see :mod:`repro.faults.integrity`.
     """
 
     cache_bytes: int = 1024
@@ -77,6 +81,7 @@ class SystemConfig:
     block_alignment: int = BYTE_ALIGNED
     timing: str = field(default_factory=default_timing)
     critical_word_first: bool = False
+    integrity: str = "off"
 
     def __post_init__(self) -> None:
         if self.cache_bytes < self.line_size:
@@ -94,6 +99,9 @@ class SystemConfig:
             raise ConfigurationError(
                 "critical-word-first refill needs the pipeline timing backend"
             )
+        from repro.faults.integrity import validate_integrity_policy
+
+        validate_integrity_policy(self.integrity)
 
     def with_options(self, **changes) -> "SystemConfig":
         """A copy with the given fields replaced (sweep helper)."""

@@ -284,6 +284,14 @@ class ProgramStudy:
             **timing_fields,
         )
 
+        # An integrity policy stores one CRC byte per line with the image;
+        # charge it to the reported ratio the same way the LAT is charged.
+        compression_ratio = (
+            self.image.total_ratio_with_lat
+            if config.integrity == "off"
+            else self.image.total_ratio_with_integrity
+        )
+
         return ComparisonReport(
             program=self.workload.name,
             cache_bytes=config.cache_bytes,
@@ -292,7 +300,7 @@ class ProgramStudy:
             data_cache_miss_rate=config.data_cache.miss_rate,
             baseline=baseline,
             ccrp=ccrp,
-            compression_ratio=self.image.total_ratio_with_lat,
+            compression_ratio=compression_ratio,
         )
 
     def _line_indices(self, miss_lines: np.ndarray) -> np.ndarray:

@@ -5,12 +5,20 @@ x CLB sizes x data-cache miss rates.  :func:`sweep` runs any sub-grid of
 that space through one cached :class:`~repro.core.study.ProgramStudy` and
 returns the reports in a form that is easy to filter, rank, and export —
 the API equivalent of "this could be determined at development time".
+
+Sweeps degrade gracefully: each grid point is attempted independently
+with a bounded retry, a failing point becomes a structured
+:class:`FailureReport` on the returned :class:`SweepResult` (annotated
+with the workload and grid coordinates), and every other point's report
+survives.  Pass ``strict=True`` to restore fail-fast: the first
+unrecoverable task re-raises, annotated with the failing workload.
 """
 
 from __future__ import annotations
 
 import csv
 import os
+import traceback
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -20,8 +28,10 @@ from repro.cache.datacache import DataCacheModel
 from repro.ccrp.decoder import DecoderModel
 from repro.core import artifacts
 from repro.core.config import SystemConfig
+from repro.core.metrics import METRICS
 from repro.core.performance import ComparisonReport
 from repro.core.study import ProgramStudy
+from repro.errors import ReproError
 from repro.workloads.suite import Workload
 
 #: Columns written by :meth:`SweepResult.to_csv`, in order.
@@ -37,15 +47,78 @@ CSV_COLUMNS = (
     "compression_ratio",
 )
 
+#: Default bounded retry per failing grid point / workload.
+DEFAULT_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One task the sweep could not complete, with full attribution.
+
+    Attributes:
+        workload: Name of the workload whose task failed.
+        detail: Which grid point (or stage) failed, human-readable.
+        error_type: Exception class name.
+        message: Exception message.
+        attempts: Total attempts made (1 + retries).
+        traceback: Formatted traceback of the last attempt, when one was
+            captured (worker-side tracebacks travel back as strings).
+    """
+
+    workload: str
+    detail: str
+    error_type: str
+    message: str
+    attempts: int
+    traceback: str = ""
+
+    def render(self) -> str:
+        """One-line summary for CLI output and logs."""
+        return (
+            f"{self.workload} [{self.detail}]: {self.error_type}: "
+            f"{self.message} (after {self.attempts} attempt"
+            f"{'s' if self.attempts != 1 else ''})"
+        )
+
+
+def _config_detail(config: SystemConfig) -> str:
+    """Compact grid coordinates for failure attribution."""
+    memory = getattr(config.memory, "name", config.memory)
+    return (
+        f"{memory}/{config.cache_bytes}B/clb{config.clb_entries}"
+        f"/dmiss{config.data_cache.miss_rate:g}"
+    )
+
+
+def _annotate(error: BaseException, context: str) -> BaseException:
+    """A copy of ``error`` whose message leads with ``context``.
+
+    Keeps the original exception class when it can be rebuilt from a
+    single message (every :class:`~repro.errors.ReproError` can), so
+    ``except LATError`` style handling still works in strict mode; falls
+    back to :class:`~repro.errors.ReproError` otherwise.
+    """
+    try:
+        clone = type(error)(f"{context}: {error}")
+    except Exception:
+        clone = ReproError(f"{context}: {error}")
+    return clone
+
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All comparison reports from one sweep."""
+    """All comparison reports from one sweep, plus any captured failures."""
 
     reports: tuple[ComparisonReport, ...]
+    failures: tuple[FailureReport, ...] = ()
 
     def __len__(self) -> int:
         return len(self.reports)
+
+    @property
+    def ok(self) -> bool:
+        """True when every task of the sweep produced a report."""
+        return not self.failures
 
     def filter(self, **criteria) -> "SweepResult":
         """Keep reports whose attributes equal the given values, e.g.
@@ -55,7 +128,7 @@ class SweepResult:
             for report in self.reports
             if all(getattr(report, key) == value for key, value in criteria.items())
         ]
-        return SweepResult(reports=tuple(kept))
+        return SweepResult(reports=tuple(kept), failures=self.failures)
 
     def best(self) -> ComparisonReport:
         """The configuration with the lowest relative execution time."""
@@ -119,16 +192,55 @@ def _grid(
     ]
 
 
-def _metrics_chunk(
-    workload: str, configs: Sequence[SystemConfig]
-) -> list[ComparisonReport]:
+def _metrics_chunk(workload: str, configs: Sequence[SystemConfig]) -> list[tuple]:
     """Worker entry point: study via the shared caches, then the chunk.
 
     With a warm artifact cache the study pieces load from disk, so the
     per-worker setup cost is deserialisation, not re-simulation.
+
+    Exceptions are captured *per grid point* — one bad configuration
+    never discards the rest of the chunk — and travel back as
+    ``("err", type, message, traceback)`` tuples (tracebacks do not
+    pickle) for the parent to retry or report.
     """
     study = artifacts.get_study(workload)
-    return [study.metrics(config) for config in configs]
+    outcomes: list[tuple] = []
+    for config in configs:
+        try:
+            outcomes.append(("ok", study.metrics(config)))
+        except Exception as error:
+            outcomes.append(
+                ("err", type(error).__name__, str(error), traceback.format_exc())
+            )
+    return outcomes
+
+
+def _retry_config(
+    workload: str | Workload,
+    config: SystemConfig,
+    study: ProgramStudy | None,
+    retries: int,
+) -> tuple[ComparisonReport | None, BaseException | None, int]:
+    """Re-attempt one failed grid point up to ``retries`` times.
+
+    Returns ``(report, last_error, extra_attempts)``; the retry runs in
+    the calling process so a crashed or wedged worker cannot take the
+    retry down with it.
+    """
+    last_error: BaseException | None = None
+    for attempt in range(retries):
+        METRICS.count("sweep.retries")
+        try:
+            if study is None:
+                study = (
+                    artifacts.get_study(workload)
+                    if isinstance(workload, str)
+                    else ProgramStudy(workload)
+                )
+            return study.metrics(config), None, attempt + 1
+        except Exception as error:
+            last_error = error
+    return None, last_error, retries
 
 
 def sweep(
@@ -140,6 +252,8 @@ def sweep(
     decoder: DecoderModel | None = None,
     study: ProgramStudy | None = None,
     jobs: int | None = None,
+    strict: bool = False,
+    retries: int = DEFAULT_RETRIES,
 ) -> SweepResult:
     """Run the full cross product of the given parameter axes.
 
@@ -155,9 +269,47 @@ def sweep(
             suite workloads named by string parallelise (an explicit
             ``study`` cannot cross a process boundary); report order is
             identical to the serial run.
+        strict: Re-raise the first unrecoverable task error (annotated
+            with the workload name) instead of recording a
+            :class:`FailureReport` and returning partial results.
+        retries: Bounded re-attempts per failing task before giving up.
     """
     decoder = decoder or DecoderModel()
     configs = _grid(cache_sizes, memories, clb_entries, data_miss_rates, decoder)
+    workload_name = workload if isinstance(workload, str) else workload.name
+    failures: list[FailureReport] = []
+    reports: list[ComparisonReport | None] = [None] * len(configs)
+
+    def _settle(position: int, config: SystemConfig, error_type: str, message: str, tb: str) -> None:
+        """Retry one failed grid point, then report or raise."""
+        report, retry_error, extra = _retry_config(workload, config, study, retries)
+        if report is not None:
+            reports[position] = report
+            return
+        if retry_error is not None:
+            error_type = type(retry_error).__name__
+            message = str(retry_error)
+            tb = "".join(
+                traceback.format_exception(
+                    type(retry_error), retry_error, retry_error.__traceback__
+                )
+            )
+        context = f"workload {workload_name!r} at {_config_detail(config)}"
+        if strict:
+            source = retry_error if retry_error is not None else ReproError(message)
+            raise _annotate(source, context) from retry_error
+        METRICS.count("sweep.failures")
+        failures.append(
+            FailureReport(
+                workload=workload_name,
+                detail=_config_detail(config),
+                error_type=error_type,
+                message=message,
+                attempts=1 + extra,
+                traceback=tb,
+            )
+        )
+
     workers = (
         effective_jobs(jobs, len(configs))
         if study is None and isinstance(workload, str)
@@ -167,21 +319,67 @@ def sweep(
         chunks = [configs[index::workers] for index in range(workers)]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_metrics_chunk, workload, chunk) for chunk in chunks]
-            by_chunk = [future.result() for future in futures]
-        # Undo the round-robin striping so order matches the serial run.
-        reports = [None] * len(configs)
-        for stripe, chunk_reports in enumerate(by_chunk):
-            for offset, report in enumerate(chunk_reports):
-                reports[stripe + offset * workers] = report
+            for stripe, future in enumerate(futures):
+                try:
+                    outcomes = future.result()
+                except Exception as error:
+                    # The whole chunk died (study build, pool breakage,
+                    # unpicklable result...).  Completed chunks are kept;
+                    # this one's grid points are re-attempted in-process.
+                    outcomes = [
+                        ("err", type(error).__name__, str(error), "")
+                        for _ in chunks[stripe]
+                    ]
+                for offset, outcome in enumerate(outcomes):
+                    position = stripe + offset * workers
+                    if outcome[0] == "ok":
+                        reports[position] = outcome[1]
+                    else:
+                        _settle(position, configs[position], *outcome[1:])
     else:
-        if study is None:
-            study = (
-                artifacts.get_study(workload)
-                if isinstance(workload, str)
-                else ProgramStudy(workload)
+        local_study = study
+        build_error: BaseException | None = None
+        if local_study is None:
+            try:
+                local_study = (
+                    artifacts.get_study(workload)
+                    if isinstance(workload, str)
+                    else ProgramStudy(workload)
+                )
+            except Exception as error:
+                build_error = error
+        if local_study is None:
+            # The study itself cannot be built (unknown workload,
+            # assembler failure...): every grid point fails at once.
+            context = f"workload {workload_name!r} (study build)"
+            if strict:
+                raise _annotate(build_error, context) from build_error
+            METRICS.count("sweep.failures")
+            failures.append(
+                FailureReport(
+                    workload=workload_name,
+                    detail=f"study build ({len(configs)} grid points)",
+                    error_type=type(build_error).__name__,
+                    message=str(build_error),
+                    attempts=1,
+                )
             )
-        reports = [study.metrics(config) for config in configs]
-    return SweepResult(reports=tuple(reports))
+        else:
+            for position, config in enumerate(configs):
+                try:
+                    reports[position] = local_study.metrics(config)
+                except Exception as error:
+                    _settle(
+                        position,
+                        config,
+                        type(error).__name__,
+                        str(error),
+                        traceback.format_exc(),
+                    )
+    return SweepResult(
+        reports=tuple(report for report in reports if report is not None),
+        failures=tuple(failures),
+    )
 
 
 def effective_jobs(jobs: int | None, tasks: int) -> int:
@@ -197,14 +395,17 @@ def effective_jobs(jobs: int | None, tasks: int) -> int:
     return max(1, min(jobs, tasks, os.cpu_count() or 1))
 
 
-def _sweep_one(workload: str, axes: dict) -> tuple[ComparisonReport, ...]:
+def _sweep_one(workload: str, axes: dict) -> tuple[tuple[ComparisonReport, ...], tuple[FailureReport, ...]]:
     """Worker entry point for :func:`sweep_many`."""
-    return sweep(workload, **axes).reports
+    result = sweep(workload, **axes)
+    return result.reports, result.failures
 
 
 def sweep_many(
     workloads: Iterable[str],
     jobs: int | None = None,
+    strict: bool = False,
+    retries: int = DEFAULT_RETRIES,
     **axes,
 ) -> SweepResult:
     """Sweep several workloads and concatenate the results.
@@ -212,16 +413,50 @@ def sweep_many(
     With ``jobs`` set, whole workloads fan across a process pool (each
     worker warms up from the shared on-disk artifact cache); results are
     concatenated in the given workload order, exactly as a serial run.
+
+    One failing workload never takes the rest of the sweep down: its
+    tasks are retried (bounded by ``retries``) and then recorded as
+    :class:`FailureReport` entries next to every other workload's
+    completed reports.  ``strict=True`` restores fail-fast — the first
+    failure re-raises, annotated with the failing workload's name.
     """
     workloads = list(workloads)
     reports: list[ComparisonReport] = []
+    failures: list[FailureReport] = []
+    axes = dict(axes, strict=strict, retries=retries)
     workers = effective_jobs(jobs, len(workloads))
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_sweep_one, workload, axes) for workload in workloads]
-            for future in futures:
-                reports.extend(future.result())
+            for workload, future in zip(workloads, futures):
+                try:
+                    chunk_reports, chunk_failures = future.result()
+                except Exception as error:
+                    # Annotate with the failing workload and keep every
+                    # already-completed workload's reports.
+                    if strict:
+                        raise _annotate(error, f"workload {workload!r}") from error
+                    METRICS.count("sweep.retries")
+                    try:
+                        retried = sweep(workload, **axes)
+                        chunk_reports, chunk_failures = retried.reports, retried.failures
+                    except Exception as retry_error:
+                        METRICS.count("sweep.failures")
+                        chunk_reports = ()
+                        chunk_failures = (
+                            FailureReport(
+                                workload=workload,
+                                detail="whole-workload sweep",
+                                error_type=type(retry_error).__name__,
+                                message=str(retry_error),
+                                attempts=2,
+                            ),
+                        )
+                reports.extend(chunk_reports)
+                failures.extend(chunk_failures)
     else:
         for workload in workloads:
-            reports.extend(sweep(workload, **axes).reports)
-    return SweepResult(reports=tuple(reports))
+            result = sweep(workload, **axes)
+            reports.extend(result.reports)
+            failures.extend(result.failures)
+    return SweepResult(reports=tuple(reports), failures=tuple(failures))

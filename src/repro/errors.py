@@ -43,3 +43,15 @@ class LATError(ReproError):
 
 class ConfigurationError(ReproError):
     """A system configuration parameter is out of its supported range."""
+
+
+class IntegrityError(ReproError):
+    """A stored line failed its integrity check (corrupted instruction memory).
+
+    Raised by the refill path under the ``strict`` integrity policy when a
+    fetched compressed block does not match its per-line CRC.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        super().__init__(message)
+        self.line_number = line_number

@@ -33,6 +33,7 @@ def _registry() -> dict[str, Callable[[], object]]:
     from repro.experiments.cross_isa import run_cross_isa
     from repro.experiments.dense_isa import run_dense_isa
     from repro.experiments.extensions import run_extensions
+    from repro.experiments.fault_study import run_fault_study
     from repro.experiments.figure5 import run_figure5
     from repro.experiments.figure9 import run_figure9
     from repro.experiments.pipeline_validation import run_pipeline_validation
@@ -52,6 +53,7 @@ def _registry() -> dict[str, Callable[[], object]]:
         "bus-width": run_bus_width,
         "cross-isa": run_cross_isa,
         "pipeline-validation": run_pipeline_validation,
+        "fault-study": run_fault_study,
     }
 
 

@@ -1,0 +1,157 @@
+"""Deterministic, seed-driven fault injection into stored program bytes.
+
+Embedded compressed-code stores live in exactly the memories where bit
+errors happen — aging EPROM cells, marginal bus timing, radiation upsets.
+:class:`FaultInjector` reproduces those defects on demand: single bit
+flips, whole-byte corruption, and multi-byte burst errors, each drawn
+from a :class:`random.Random` seeded by the caller so every experiment
+replays bit-for-bit from its seed.
+
+Faults target one of three stored regions:
+
+* ``code`` — the compressed blocks themselves (or any raw byte string);
+* ``lat`` — the serialised Line Address Table;
+* ``baseline`` — the uncompressed program image, for the control arm.
+
+The injector never mutates its input; every method returns a fresh
+``bytes`` object plus a :class:`FaultRecord` describing exactly what was
+done, so results are attributable and replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Supported fault models, in table order.
+FAULT_MODELS = ("bit_flip", "byte", "burst")
+
+#: Stored regions a fault can target.
+FAULT_TARGETS = ("code", "lat", "baseline")
+
+#: Default burst-error length in bytes (a glitched 4-byte bus beat).
+DEFAULT_BURST_BYTES = 4
+
+
+def validate_fault_model(name: str) -> str:
+    """Check a fault-model name, raising :class:`ConfigurationError`."""
+    if name not in FAULT_MODELS:
+        raise ConfigurationError(
+            f"unknown fault model {name!r}; choose from {FAULT_MODELS}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, fully replayable.
+
+    Attributes:
+        model: Fault model name (``bit_flip``, ``byte``, ``burst``).
+        target: Which stored region was hit (``code``/``lat``/``baseline``).
+        offset: Byte offset of the (first) corrupted byte.
+        length: Number of corrupted bytes (1 except for bursts).
+        bit: Flipped bit position (0 = LSB) for ``bit_flip``, else ``None``.
+        masks: XOR mask applied to each corrupted byte (always non-zero,
+            so every recorded fault really changes the stored bytes).
+    """
+
+    model: str
+    target: str
+    offset: int
+    length: int
+    bit: int | None
+    masks: tuple[int, ...]
+
+    def apply(self, data: bytes) -> bytes:
+        """Replay this fault onto ``data`` (pure; returns a copy)."""
+        if self.offset + self.length > len(data):
+            raise ConfigurationError(
+                f"fault at [{self.offset}, {self.offset + self.length}) outside "
+                f"{len(data)}-byte region"
+            )
+        corrupted = bytearray(data)
+        for index, mask in enumerate(self.masks):
+            corrupted[self.offset + index] ^= mask
+        return bytes(corrupted)
+
+
+class FaultInjector:
+    """Seed-driven source of reproducible storage faults.
+
+    Args:
+        seed: Seeds the private :class:`random.Random`; two injectors
+            built with the same seed issue identical fault sequences.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Fault models
+    # ------------------------------------------------------------------
+
+    def bit_flip(self, data: bytes, target: str = "code") -> tuple[bytes, FaultRecord]:
+        """Flip one uniformly chosen bit of ``data``."""
+        offset = self._offset(data)
+        bit = self._rng.randrange(8)
+        record = FaultRecord(
+            model="bit_flip",
+            target=target,
+            offset=offset,
+            length=1,
+            bit=bit,
+            masks=(1 << bit,),
+        )
+        return record.apply(data), record
+
+    def byte(self, data: bytes, target: str = "code") -> tuple[bytes, FaultRecord]:
+        """Replace one byte of ``data`` with a different random value."""
+        offset = self._offset(data)
+        mask = self._rng.randrange(1, 256)  # non-zero: the byte must change
+        record = FaultRecord(
+            model="byte", target=target, offset=offset, length=1, bit=None, masks=(mask,)
+        )
+        return record.apply(data), record
+
+    def burst(
+        self,
+        data: bytes,
+        target: str = "code",
+        length: int = DEFAULT_BURST_BYTES,
+    ) -> tuple[bytes, FaultRecord]:
+        """Corrupt ``length`` consecutive bytes (clamped to the region)."""
+        if length < 1:
+            raise ConfigurationError(f"burst length must be at least 1, got {length}")
+        length = min(length, len(data))
+        offset = self._offset(data, span=length)
+        masks = tuple(self._rng.randrange(1, 256) for _ in range(length))
+        record = FaultRecord(
+            model="burst", target=target, offset=offset, length=length, bit=None, masks=masks
+        )
+        return record.apply(data), record
+
+    def inject(
+        self, data: bytes, model: str, target: str = "code"
+    ) -> tuple[bytes, FaultRecord]:
+        """Apply the named fault model (table-driven dispatch)."""
+        validate_fault_model(model)
+        if model == "bit_flip":
+            return self.bit_flip(data, target=target)
+        if model == "byte":
+            return self.byte(data, target=target)
+        return self.burst(data, target=target)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _offset(self, data: bytes, span: int = 1) -> int:
+        if len(data) < span or not data:
+            raise ConfigurationError(
+                f"cannot inject a {span}-byte fault into a {len(data)}-byte region"
+            )
+        return self._rng.randrange(len(data) - span + 1)

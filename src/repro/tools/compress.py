@@ -21,7 +21,14 @@ from repro.isa.assembler import Assembler
 
 def _load_text(path: Path) -> bytes:
     if path.suffix in (".s", ".asm"):
-        return Assembler().assemble(path.read_text()).text
+        try:
+            source = path.read_text()
+        except UnicodeDecodeError as error:
+            raise ReproError(
+                f"{path} is not text — assembly source must be valid UTF-8 "
+                f"({error.reason} at byte {error.start})"
+            ) from error
+        return Assembler().assemble(source).text
     return path.read_bytes()
 
 
@@ -80,7 +87,11 @@ def main(argv: list[str] | None = None) -> int:
         print("verify         : OK (bit-exact round trip)")
 
     if args.output:
-        args.output.write_bytes(image.memory_image())
+        try:
+            args.output.write_bytes(image.memory_image())
+        except OSError as error:
+            print(f"ccrp-compress: {error}", file=sys.stderr)
+            return 1
         print(f"wrote {args.output} ({image.total_stored_bytes - image.code_table_bytes:,} bytes)")
     return 0
 

@@ -99,7 +99,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"--cache-bytes must hold at least one 32 B line, got {args.cache_bytes}"
             )
 
-        program = Assembler().assemble(args.source.read_text())
+        try:
+            source = args.source.read_text()
+        except UnicodeDecodeError as error:
+            raise ConfigurationError(
+                f"{args.source} is not text — assembly source must be valid "
+                f"UTF-8 ({error.reason} at byte {error.start})"
+            ) from error
+        program = Assembler().assemble(source)
         result = Machine(program).run(
             max_instructions=args.max_instructions, stop_at_limit=args.stop_at_limit
         )

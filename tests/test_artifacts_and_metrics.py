@@ -82,6 +82,18 @@ class TestArtifactCache:
         with path.open("rb") as handle:
             assert pickle.load(handle) == [4]
 
+    def test_corrupt_entry_counts_eviction(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("kind", "value", "k")
+        cache.path_for("kind", "k").write_bytes(b"garbage")
+        evictions = METRICS.counter("artifacts.evict")
+        found, value = cache.load("kind", "k")
+        assert not found and value is None
+        assert METRICS.counter("artifacts.evict") == evictions + 1
+        # A clean miss is not an eviction.
+        cache.load("kind", "never-stored")
+        assert METRICS.counter("artifacts.evict") == evictions + 1
+
     def test_atomic_writes_leave_no_temp_files(self, tmp_path):
         cache = ArtifactCache(root=tmp_path)
         for index in range(5):

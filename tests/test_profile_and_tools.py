@@ -171,3 +171,27 @@ class TestTools:
         ragged = tmp_path / "ragged.bin"
         ragged.write_bytes(b"\x00" * 33)
         assert compress_tool.main([str(ragged)]) == 1
+
+    def test_run_binary_source_one_line_error(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.s"
+        garbage.write_bytes(bytes(range(128, 256)))
+        assert run_tool.main([str(garbage)]) == 1
+        err = capsys.readouterr().err
+        assert "not text" in err and "Traceback" not in err
+
+    def test_compress_binary_source_one_line_error(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.asm"
+        garbage.write_bytes(bytes(range(128, 256)))
+        assert compress_tool.main([str(garbage)]) == 1
+        err = capsys.readouterr().err
+        assert "not text" in err and "Traceback" not in err
+
+    def test_run_missing_file_one_line_error(self, tmp_path, capsys):
+        assert run_tool.main([str(tmp_path / "nope.s")]) == 1
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_compress_unwritable_output(self, source_file, tmp_path, capsys):
+        target = tmp_path / "no-such-dir" / "prog.img"
+        assert compress_tool.main([str(source_file), "-o", str(target)]) == 1
+        err = capsys.readouterr().err
+        assert "ccrp-compress:" in err and "Traceback" not in err
