@@ -6,11 +6,22 @@ warm artifact-cache wall-clock, each in a fresh subprocess so process
 startup and corpus assembly are charged honestly.  It also verifies that
 the parallel run's exported JSON is byte-identical to the serial run's.
 
+The parallel *comparison* only means something when a pool can actually
+win: ``--jobs`` is resolved through ``repro.core.sweep.effective_jobs``
+(affinity-aware, so a cgroup-pinned CI runner is not mistaken for a
+many-core machine), both the requested and effective counts land in the
+record, and when the effective pool is 1 the speedup claim is skipped
+with an explicit reason instead of recording a meaningless "regression"
+— the failure mode that produced the old 0.66x-on-one-CPU entry.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_harness.py
 
 and it writes ``BENCH_harness.json`` next to this repo's other results.
+``--check`` turns the result into a CI gate: exit nonzero if outputs
+diverge or if a real (effective >= 2 workers) parallel run is slower
+than serial.
 """
 
 from __future__ import annotations
@@ -27,8 +38,16 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+try:
+    from repro.core.sweep import available_cpus, effective_jobs
+except ImportError:  # running as a script without the package installed
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.sweep import available_cpus, effective_jobs
+
 #: Study-driven experiments: they exercise traces, images, miss streams.
 DEFAULT_EXPERIMENTS = ("tables9-10", "figure9")
+
+SCHEMA = "ccrp-bench-harness/2"
 
 
 def _run_cli(
@@ -57,7 +76,16 @@ def _run_cli(
 def run_benchmark(
     experiments: tuple[str, ...] = DEFAULT_EXPERIMENTS, jobs: int = 2
 ) -> dict:
-    """Time the four harness modes and check output equivalence."""
+    """Time the harness modes and check output equivalence.
+
+    ``jobs`` is a request; the pool the runner will actually use is
+    ``effective_jobs(jobs, len(experiments))``.  When that resolves to 1
+    the parallel-vs-serial comparison is skipped (with the reason in the
+    record) — timing a "pool" of one process against serial measures
+    scheduler noise, not the harness.
+    """
+    jobs_effective = effective_jobs(jobs, len(experiments))
+    cpus = available_cpus()
     scratch = Path(tempfile.mkdtemp(prefix="ccrp-bench-"))
     try:
         serial_cache = scratch / "serial-cache"
@@ -65,41 +93,64 @@ def run_benchmark(
         serial_out = scratch / "serial-out"
         parallel_out = scratch / "parallel-out"
 
-        timings = {
-            "serial_cold_seconds": _run_cli(experiments, serial_cache, serial_out),
-            "serial_warm_seconds": _run_cli(experiments, serial_cache),
-            "parallel_cold_seconds": _run_cli(
-                experiments, parallel_cache, parallel_out, jobs=jobs
-            ),
-            "parallel_warm_seconds": _run_cli(experiments, parallel_cache, jobs=jobs),
-            "single_cold_seconds": _run_cli(
-                experiments[:1], scratch / "single-cache"
-            ),
-            "single_warm_seconds": _run_cli(
-                experiments[:1], scratch / "single-cache"
-            ),
+        record: dict = {
+            "schema": SCHEMA,
+            "experiments": list(experiments),
+            "jobs_requested": jobs,
+            "jobs_effective": jobs_effective,
+            "cpu_count": os.cpu_count(),
+            "cpu_affinity": cpus,
         }
 
-        identical = all(
+        record["serial_cold_seconds"] = _run_cli(
+            experiments, serial_cache, serial_out
+        )
+        record["serial_warm_seconds"] = _run_cli(experiments, serial_cache)
+        record["single_cold_seconds"] = _run_cli(
+            experiments[:1], scratch / "single-cache"
+        )
+        record["single_warm_seconds"] = _run_cli(
+            experiments[:1], scratch / "single-cache"
+        )
+        record["warm_cache_speedup"] = (
+            record["single_cold_seconds"] / record["single_warm_seconds"]
+        )
+
+        # The --jobs invocation always runs (output identity is a
+        # correctness property, independent of core count), but the
+        # speedup *claim* is only recorded when the pool is real.
+        record["parallel_cold_seconds"] = _run_cli(
+            experiments, parallel_cache, parallel_out, jobs=jobs
+        )
+        record["parallel_warm_seconds"] = _run_cli(
+            experiments, parallel_cache, jobs=jobs
+        )
+        record["serial_parallel_outputs_identical"] = all(
             (serial_out / f"{name}.json").read_bytes()
             == (parallel_out / f"{name}.json").read_bytes()
             for name in experiments
         )
 
-        return {
-            "schema": "ccrp-bench-harness/1",
-            "experiments": list(experiments),
-            "jobs": jobs,
-            "cpu_count": os.cpu_count(),
-            **timings,
-            "parallel_cold_speedup": timings["serial_cold_seconds"]
-            / timings["parallel_cold_seconds"],
-            "parallel_warm_speedup": timings["serial_warm_seconds"]
-            / timings["parallel_warm_seconds"],
-            "warm_cache_speedup": timings["single_cold_seconds"]
-            / timings["single_warm_seconds"],
-            "serial_parallel_outputs_identical": identical,
-        }
+        if jobs_effective >= 2:
+            record["parallel_comparison_skipped"] = False
+            record["parallel_cold_speedup"] = (
+                record["serial_cold_seconds"] / record["parallel_cold_seconds"]
+            )
+            record["parallel_warm_speedup"] = (
+                record["serial_warm_seconds"] / record["parallel_warm_seconds"]
+            )
+        else:
+            record["parallel_comparison_skipped"] = True
+            record["parallel_skip_reason"] = (
+                f"effective worker pool is 1 (requested {jobs}, "
+                f"{cpus} CPU(s) available to this process, "
+                f"{len(experiments)} tasks); a process pool cannot win "
+                "here, so no speedup is claimed"
+            )
+            record["parallel_cold_speedup"] = None
+            record["parallel_warm_speedup"] = None
+
+        return record
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
@@ -119,6 +170,13 @@ def main(argv: list[str] | None = None) -> int:
         help="experiments to drive the harness with",
     )
     parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit nonzero unless parallel >= serial whenever the "
+        "effective pool has >= 2 workers (a skipped comparison passes, "
+        "loudly)",
+    )
     args = parser.parse_args(argv)
 
     record = run_benchmark(tuple(args.experiments), jobs=args.jobs)
@@ -128,6 +186,20 @@ def main(argv: list[str] | None = None) -> int:
     if not record["serial_parallel_outputs_identical"]:
         print("ERROR: parallel outputs diverged from serial", file=sys.stderr)
         return 1
+    if record["parallel_comparison_skipped"]:
+        # Never silent: the record and the log both carry the reason.
+        print(f"SKIP (parallel comparison): {record['parallel_skip_reason']}",
+              file=sys.stderr)
+    elif record["parallel_cold_speedup"] < 1.0:
+        message = (
+            f"parallel cold run was slower than serial "
+            f"({record['parallel_cold_speedup']:.2f}x) with "
+            f"{record['jobs_effective']} effective workers"
+        )
+        if args.check:
+            print(f"ERROR: {message}", file=sys.stderr)
+            return 1
+        print(f"WARNING: {message}", file=sys.stderr)
     if record["warm_cache_speedup"] <= 1.0:
         print("WARNING: warm cache was not faster than cold", file=sys.stderr)
     return 0

@@ -9,9 +9,13 @@ the SHA-256 of that key.  A second process — or a ``--jobs N`` worker —
 finds them already materialised.
 
 Layout: ``<cache root>/<format version>/<kind>/<digest>.pkl``, written
-atomically (temp file + ``os.replace``) so concurrent workers can race on
-the same artifact safely: last writer wins, and both wrote identical
-bytes-for-key content anyway.
+atomically (temp file + ``os.replace``).  Builds are **single-flight**
+across processes: a miss takes an exclusive ``flock`` on the artifact's
+``.lock`` sibling before computing, and re-checks the disk once the lock
+arrives — so N cold workers asking for the same key produce one build
+and N-1 cheap loads (``artifacts.coalesced``), not N duplicate
+simulations.  Where ``fcntl`` is unavailable the old race remains and is
+still safe: last writer wins with identical bytes-for-key content.
 
 Escape hatches:
 
@@ -38,6 +42,11 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable
+
+try:  # POSIX only; on other platforms builders race (atomic store, last wins)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.metrics import METRICS
 
@@ -183,12 +192,39 @@ class ArtifactCache:
         METRICS.count("artifacts.store")
         return path
 
-    def get_or_compute(self, kind: str, compute: Callable[[], Any], *key_parts) -> Any:
-        """Load the artifact, or compute and persist it.
+    @contextmanager
+    def _build_lock(self, path: Path):
+        """Cross-process single-flight guard for one artifact key.
 
-        Counts ``artifacts.hit`` / ``artifacts.miss`` so cache behaviour
-        shows up in ``--metrics`` dumps.  With the cache disabled this is
-        just ``compute()`` (and counts nothing).
+        Holds an exclusive ``flock`` on a sibling ``.lock`` file while the
+        artifact is computed, so N concurrent builders of the same key
+        wait on one winner instead of all re-simulating.  Lock files are
+        tiny and persistent; they are never read, only locked.  Without
+        ``fcntl`` (non-POSIX) this degrades to the old behaviour:
+        duplicate builds that race on an atomic, last-writer-wins store.
+        """
+        if fcntl is None:
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        with lock_path.open("ab") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def get_or_compute(self, kind: str, compute: Callable[[], Any], *key_parts) -> Any:
+        """Load the artifact, or compute (exactly once per machine) and persist.
+
+        Counts ``artifacts.hit`` / ``artifacts.miss`` / ``artifacts.build``
+        so cache behaviour shows up in ``--metrics`` dumps.  A miss takes
+        the per-key file lock before computing and re-checks the disk
+        under it: a process that lost the build race loads the winner's
+        artifact instead of duplicating the work, counted as
+        ``artifacts.coalesced``.  With the cache disabled this is just
+        ``compute()`` (and counts nothing).
         """
         if not cache_enabled():
             return compute()
@@ -197,8 +233,15 @@ class ArtifactCache:
             METRICS.count("artifacts.hit")
             return value
         METRICS.count("artifacts.miss")
-        value = compute()
-        self.store(kind, value, *key_parts)
+        with self._build_lock(self.path_for(kind, *key_parts)):
+            # Another process may have won the build while we waited.
+            found, value = self.load(kind, *key_parts)
+            if found:
+                METRICS.count("artifacts.coalesced")
+                return value
+            METRICS.count("artifacts.build")
+            value = compute()
+            self.store(kind, value, *key_parts)
         return value
 
 

@@ -12,7 +12,8 @@ via ``ccrp-experiments --metrics out.json``:
     {
       "schema": "ccrp-metrics/1",
       "stages":   {"study.trace": {"calls": 8, "wall_seconds": ..., "cpu_seconds": ...}},
-      "counters": {"artifacts.hit": 12, "artifacts.miss": 4, "artifacts.store": 4}
+      "counters": {"artifacts.hit": 12, "artifacts.miss": 4, "artifacts.build": 4},
+      "gauges":   {"sweep.workers": 4}
     }
 
 Worker processes report their own snapshots, which the parent folds in
@@ -48,6 +49,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._stages: dict[str, StageStats] = {}
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -74,6 +76,16 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins, merges by max).
+
+        Unlike counters, gauges answer "what was it" rather than "how
+        many" — e.g. ``sweep.workers`` is the resolved process-pool
+        width of the last parallel sweep, not a running total.
+        """
+        with self._lock:
+            self._gauges[name] = value
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -82,6 +94,11 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:
             return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0) -> float:
+        """Current value of gauge ``name`` (``default`` if never set)."""
+        with self._lock:
+            return self._gauges.get(name, default)
 
     def stage_stats(self, name: str) -> StageStats:
         """Accumulated stats for stage ``name`` (zeros if never entered)."""
@@ -106,6 +123,7 @@ class MetricsRegistry:
                     for name, stats in sorted(self._stages.items())
                 },
                 "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
             }
 
     # ------------------------------------------------------------------
@@ -125,12 +143,19 @@ class MetricsRegistry:
                 stats.cpu_seconds += data.get("cpu_seconds", 0.0)
             for name, value in snapshot.get("counters", {}).items():
                 self._counters[name] = self._counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                # Counters add; gauges keep the most pessimistic (largest)
+                # observation, so a parent merging N workers reports the
+                # widest pool any of them resolved.
+                current = self._gauges.get(name)
+                self._gauges[name] = value if current is None else max(current, value)
 
     def reset(self) -> None:
         """Drop everything recorded (workers call this per task)."""
         with self._lock:
             self._stages.clear()
             self._counters.clear()
+            self._gauges.clear()
 
     def write_json(self, path: str | Path, extra: dict | None = None) -> Path:
         """Write ``{"schema": ..., **extra, **snapshot}`` to ``path``."""

@@ -115,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
     """Run the named experiments and print their rendered tables."""
     from repro.core import artifacts
     from repro.core.metrics import METRICS
-    from repro.core.sweep import effective_jobs
+    from repro.core.sweep import _pool_context, effective_jobs
     from repro.experiments.export import export_payload
 
     registry = _registry()
@@ -140,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="run up to N experiments in parallel worker processes "
-        "(clamped to the CPU count; the effective value lands in --metrics)",
+        "(clamped to the CPUs actually available to this process; the "
+        "effective value lands in --metrics)",
     )
     parser.add_argument(
         "--metrics",
@@ -191,7 +192,9 @@ def main(argv: list[str] | None = None) -> int:
     bypass = artifacts.cache_disabled() if args.no_cache else contextlib.nullcontext()
     with bypass:
         if jobs_effective > 1:
-            with ProcessPoolExecutor(max_workers=jobs_effective) as pool:
+            with ProcessPoolExecutor(
+                max_workers=jobs_effective, mp_context=_pool_context()
+            ) as pool:
                 futures = [
                     pool.submit(
                         _run_single,

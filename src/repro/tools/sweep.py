@@ -1,0 +1,228 @@
+"""``ccrp-sweep`` — run, shard, and merge design-space sweeps.
+
+The cross-machine face of :mod:`repro.core.sweep`: one invocation runs a
+sweep (optionally one shard of it), another merges emitted shard files
+back into the exact result a single unsharded run would have produced.
+
+Examples::
+
+    # One machine, four worker processes
+    ccrp-sweep eightq lloop01 --cache-sizes 256 512 1024 --jobs 4 \\
+        --csv sweep.csv --json sweep.json
+
+    # Three machines, one shard each, then a merge anywhere
+    ccrp-sweep eightq lloop01 --shard 0/3 --emit-shard shard0.pkl
+    ccrp-sweep eightq lloop01 --shard 1/3 --emit-shard shard1.pkl
+    ccrp-sweep eightq lloop01 --shard 2/3 --emit-shard shard2.pkl
+    ccrp-sweep --merge shard0.pkl shard1.pkl shard2.pkl --json merged.json
+
+The merged result is byte-identical — reports *and* failure reports — to
+the unsharded run, so shard files can be verified with ``cmp`` against a
+serial run's ``--json`` export.  Exits 0 on a clean sweep, 1 when any
+task failed (the partial results are still written), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+from repro.core.sweep import (
+    DEFAULT_CACHE_SIZES,
+    DEFAULT_CLB_ENTRIES,
+    DEFAULT_DATA_MISS_RATES,
+    DEFAULT_MEMORIES,
+    DEFAULT_RETRIES,
+    SweepResult,
+    merge_shard_files,
+    sweep_many,
+    write_shard_file,
+)
+from repro.errors import ReproError
+
+#: Version tag of the ``--json`` export.
+JSON_SCHEMA = "ccrp-sweep/1"
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``"I/N"`` -> ``(I, N)``; range checks happen in the sweep layer."""
+    try:
+        index, count = text.split("/")
+        return int(index), int(count)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like INDEX/COUNT (e.g. 0/4), got {text!r}"
+        ) from None
+
+
+def result_payload(result: SweepResult) -> dict:
+    """The deterministic JSON form of a sweep result (reports + failures)."""
+    return {
+        "schema": JSON_SCHEMA,
+        "reports": result.rows(),
+        "failures": [dataclasses.asdict(failure) for failure in result.failures],
+    }
+
+
+def _write_json(result: SweepResult, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result_payload(result), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-sweep",
+        description="Sweep the CCRP design space across processes and "
+        "machines: run a (shard of a) workload grid, emit partial results, "
+        "and merge shards byte-identically to a serial run.",
+    )
+    parser.add_argument(
+        "workloads", nargs="*", metavar="WORKLOAD",
+        help="suite workload names to sweep (omit when using --merge)",
+    )
+    parser.add_argument(
+        "--cache-sizes", type=int, nargs="+", default=list(DEFAULT_CACHE_SIZES),
+        metavar="BYTES", help="instruction-cache sizes",
+    )
+    parser.add_argument(
+        "--memories", nargs="+", default=list(DEFAULT_MEMORIES),
+        metavar="NAME", help="memory-model names",
+    )
+    parser.add_argument(
+        "--clb-entries", type=int, nargs="+", default=list(DEFAULT_CLB_ENTRIES),
+        metavar="N", help="CLB capacities",
+    )
+    parser.add_argument(
+        "--data-miss-rates", type=float, nargs="+",
+        default=list(DEFAULT_DATA_MISS_RATES),
+        metavar="RATE", help="data-cache miss rates",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan this machine's share across N worker processes (clamped "
+        "to the CPUs actually available; the study is pre-built once)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help="bounded re-attempts per failing task",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first unrecoverable task instead of "
+        "recording a FailureReport",
+    )
+    parser.add_argument(
+        "--shard", type=_parse_shard, metavar="I/N",
+        help="run only the I-th of N contiguous slices of the "
+        "workloads x grid task list (for cross-machine splits)",
+    )
+    parser.add_argument(
+        "--emit-shard", type=Path, metavar="FILE",
+        help="write this run's partial SweepResult (reports + failures) "
+        "as a shard file for ccrp-sweep --merge",
+    )
+    parser.add_argument(
+        "--merge", nargs="+", type=Path, metavar="FILE",
+        help="instead of sweeping, merge these shard files (any order; "
+        "the partition must be complete and from one sweep spec)",
+    )
+    parser.add_argument(
+        "--csv", type=Path, metavar="FILE", help="write the reports as CSV"
+    )
+    parser.add_argument(
+        "--json", type=Path, metavar="FILE",
+        help="write reports and failures as deterministic JSON "
+        "(byte-comparable between serial and merged-shard runs)",
+    )
+    parser.add_argument(
+        "--metrics", type=Path, metavar="FILE",
+        help="write the metrics-registry snapshot as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.merge and args.workloads:
+        parser.error("--merge and workload arguments are mutually exclusive")
+    if not args.merge and not args.workloads:
+        parser.error("name at least one workload (or use --merge)")
+    if args.emit_shard and args.merge:
+        parser.error("--emit-shard applies to a sweep run, not --merge")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.retries < 0:
+        parser.error("--retries must be at least 0")
+
+    spec = {
+        "workloads": list(args.workloads),
+        "cache_sizes": list(args.cache_sizes),
+        "memories": list(args.memories),
+        "clb_entries": list(args.clb_entries),
+        "data_miss_rates": list(args.data_miss_rates),
+        "retries": args.retries,
+    }
+
+    try:
+        if args.merge:
+            result = merge_shard_files(args.merge)
+            print(f"merged {len(args.merge)} shards: {len(result.reports)} "
+                  f"reports, {len(result.failures)} failures")
+        else:
+            result = sweep_many(
+                args.workloads,
+                jobs=args.jobs,
+                strict=args.strict,
+                retries=args.retries,
+                shard=args.shard,
+                cache_sizes=tuple(args.cache_sizes),
+                memories=tuple(args.memories),
+                clb_entries=tuple(args.clb_entries),
+                data_miss_rates=tuple(args.data_miss_rates),
+            )
+            slice_note = (
+                f" (shard {args.shard[0]}/{args.shard[1]})" if args.shard else ""
+            )
+            print(f"swept {', '.join(args.workloads)}{slice_note}: "
+                  f"{len(result.reports)} reports, {len(result.failures)} failures")
+            if args.emit_shard:
+                shard = args.shard if args.shard is not None else (0, 1)
+                path = write_shard_file(args.emit_shard, result, shard, spec)
+                print(f"[wrote shard {shard[0]}/{shard[1]} to {path}]")
+    except ReproError as error:
+        print(f"ccrp-sweep: {error}", file=sys.stderr)
+        return 2
+
+    if result.reports:
+        best, worst = result.best(), result.worst()
+        print(f"  best:  {best.program} {best.memory}/{best.cache_bytes}B "
+              f"-> {best.relative_execution_time:.3f}x")
+        print(f"  worst: {worst.program} {worst.memory}/{worst.cache_bytes}B "
+              f"-> {worst.relative_execution_time:.3f}x")
+    for failure in result.failures:
+        print(f"  failure: {failure.render()}")
+
+    try:
+        if args.csv:
+            args.csv.parent.mkdir(parents=True, exist_ok=True)
+            result.to_csv(args.csv)
+            print(f"[wrote {args.csv}]")
+        if args.json:
+            _write_json(result, args.json)
+            print(f"[wrote {args.json}]")
+        if args.metrics:
+            from repro.core.metrics import METRICS
+
+            METRICS.write_json(args.metrics, extra={"jobs": args.jobs})
+            print(f"[wrote {args.metrics}]")
+    except OSError as error:
+        print(f"ccrp-sweep: {error}", file=sys.stderr)
+        return 1
+
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

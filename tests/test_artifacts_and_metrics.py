@@ -22,6 +22,21 @@ def _fresh_study_cache():
     artifacts.clear()
 
 
+def _race_one_artifact(root: str, marker: str) -> None:
+    """Child-process body for the cross-process single-flight test."""
+    import time
+
+    cache = ArtifactCache(root=root)
+
+    def compute():
+        time.sleep(0.2)
+        with open(marker, "a") as handle:
+            handle.write("built\n")
+        return 42
+
+    assert cache.get_or_compute("kind", compute, "contended-key") == 42
+
+
 class TestFingerprints:
     def test_bytes_fingerprint_is_stable_and_content_sensitive(self):
         assert artifacts.fingerprint_bytes(b"abc") == artifacts.fingerprint_bytes(b"abc")
@@ -134,6 +149,59 @@ class TestArtifactCache:
         monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(tmp_path / "elsewhere"))
         assert artifacts.cache_root() == tmp_path / "elsewhere"
         assert ArtifactCache().root == tmp_path / "elsewhere"
+
+    def test_build_counter_counts_computes(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        builds = METRICS.counter("artifacts.build")
+        cache.get_or_compute("kind", lambda: 1, "fresh")
+        assert METRICS.counter("artifacts.build") == builds + 1
+        cache.get_or_compute("kind", lambda: 1, "fresh")
+        # A hit is not a build.
+        assert METRICS.counter("artifacts.build") == builds + 1
+
+    def test_lost_build_race_coalesces(self, tmp_path, monkeypatch):
+        # Simulate losing the single-flight race: the first (pre-lock)
+        # load misses, and by the time the lock arrives another "process"
+        # has stored the artifact.  We must load the winner's value, never
+        # run compute, and count it as coalesced work.
+        cache = ArtifactCache(root=tmp_path)
+        real_load = cache.load
+        state = {"calls": 0}
+
+        def racy_load(kind, *key_parts):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                return False, None
+            cache.store(kind, "winner", *key_parts)
+            return real_load(kind, *key_parts)
+
+        monkeypatch.setattr(cache, "load", racy_load)
+        coalesced = METRICS.counter("artifacts.coalesced")
+        builds = METRICS.counter("artifacts.build")
+        value = cache.get_or_compute("kind", lambda: "loser", "contended")
+        assert value == "winner"
+        assert METRICS.counter("artifacts.coalesced") == coalesced + 1
+        assert METRICS.counter("artifacts.build") == builds
+
+    def test_concurrent_processes_build_once(self, tmp_path):
+        # Two real processes race on one cold key with a slow compute;
+        # the flock single-flight must let exactly one build through.
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        marker = tmp_path / "builds.log"
+        workers = [
+            context.Process(
+                target=_race_one_artifact, args=(str(tmp_path), str(marker))
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+        assert all(worker.exitcode == 0 for worker in workers)
+        assert marker.read_text().count("built") == 1
 
 
 class TestStudyCache:
@@ -248,19 +316,33 @@ class TestMetricsRegistry:
     def test_reset(self):
         registry = MetricsRegistry()
         registry.count("c")
+        registry.gauge("g", 4)
         with registry.stage("s"):
             pass
         registry.reset()
-        assert registry.snapshot() == {"stages": {}, "counters": {}}
+        assert registry.snapshot() == {"stages": {}, "counters": {}, "gauges": {}}
+
+    def test_gauges_record_last_value_and_merge_by_max(self):
+        registry = MetricsRegistry()
+        registry.gauge("sweep.workers", 4)
+        registry.gauge("sweep.workers", 2)
+        assert registry.gauge_value("sweep.workers") == 2
+        assert registry.gauge_value("never", default=7) == 7
+        other = MetricsRegistry()
+        other.gauge("sweep.workers", 8)
+        registry.merge(other.snapshot())
+        assert registry.gauge_value("sweep.workers") == 8
 
     def test_write_json_schema(self, tmp_path):
         import json
 
         registry = MetricsRegistry()
         registry.count("c", 9)
+        registry.gauge("g", 3)
         path = registry.write_json(tmp_path / "m.json", extra={"jobs": 2})
         payload = json.loads(path.read_text())
         assert payload["schema"] == "ccrp-metrics/1"
         assert payload["jobs"] == 2
         assert payload["counters"] == {"c": 9}
+        assert payload["gauges"] == {"g": 3}
         assert payload["stages"] == {}

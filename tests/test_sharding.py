@@ -1,0 +1,539 @@
+"""Sharded sweeps, single-flight parallel builds, and shard-file merging.
+
+Two guarantees from the parallel-harness rework are pinned here:
+
+* ``merge_shards()`` over *any* partition of a sweep is byte-identical
+  (reports **and** failures) to the unsharded run — including when grid
+  points fail deterministically inside workers.
+* A cold-cache parallel sweep builds each study artifact exactly once
+  (the ``artifacts.build`` counter equals the number of ``.pkl`` files
+  on disk), i.e. the thundering-herd duplicate simulation is gone.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+# ``repro.core`` re-exports the sweep *function*, which shadows the
+# submodule attribute — resolve the module itself for monkeypatching.
+sweep_module = importlib.import_module("repro.core.sweep")
+from repro.core import artifacts
+from repro.core.metrics import METRICS
+from repro.core.sweep import (
+    FailureReport,
+    SweepResult,
+    effective_jobs,
+    merge_shard_files,
+    merge_shards,
+    shard_span,
+    sweep,
+    sweep_many,
+    write_shard_file,
+)
+from repro.errors import ConfigurationError
+
+#: A small but non-trivial grid: 2 cache sizes x 2 memories = 4 points.
+AXES = dict(cache_sizes=(256, 512), memories=("eprom", "burst_eprom"))
+
+#: Same grid with a deterministically-failing memory model injected:
+#: "nosuch" passes config construction (memory resolves lazily) and
+#: raises ConfigurationError at metrics() time, per grid point.
+FAILING_AXES = dict(cache_sizes=(256, 512), memories=("eprom", "nosuch"))
+
+
+def _force_pool(monkeypatch, cpus: int = 2) -> None:
+    """Pretend this machine has ``cpus`` CPUs so effective_jobs > 1.
+
+    The test container may be pinned to one core, which would silently
+    collapse every ``jobs=N`` request to a serial run and leave the
+    pool code paths untested.
+    """
+    monkeypatch.setattr(sweep_module, "available_cpus", lambda: cpus)
+
+
+# ----------------------------------------------------------------------
+# shard_span arithmetic
+# ----------------------------------------------------------------------
+
+
+class TestShardSpan:
+    @given(
+        total=st.integers(min_value=0, max_value=200),
+        count=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_exact_and_balanced(self, total, count):
+        spans = [shard_span(total, (index, count)) for index in range(count)]
+        # Contiguous cover of range(total), in order, no gaps or overlap.
+        assert spans[0][0] == 0
+        assert spans[-1][1] == total
+        for (_, stop), (start, _) in zip(spans, spans[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in spans]
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            shard_span(10, (0, 0))
+        with pytest.raises(ConfigurationError):
+            shard_span(10, (3, 3))
+        with pytest.raises(ConfigurationError):
+            shard_span(10, (-1, 3))
+        with pytest.raises(ConfigurationError):
+            shard_span(10, "0/3")
+
+
+# ----------------------------------------------------------------------
+# Partition identity: merge of shards == unsharded run, byte for byte
+# ----------------------------------------------------------------------
+
+
+class TestShardPartitionIdentity:
+    @pytest.fixture(scope="class")
+    def unsharded(self):
+        return sweep("eightq", **AXES)
+
+    @pytest.fixture(scope="class")
+    def unsharded_failing(self):
+        return sweep("eightq", **FAILING_AXES)
+
+    @given(count=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_clean_sweep_merges_byte_identical(self, count, unsharded):
+        shards = [sweep("eightq", shard=(i, count), **AXES) for i in range(count)]
+        merged = merge_shards(shards)
+        assert merged == unsharded
+        assert pickle.dumps(merged) == pickle.dumps(unsharded)
+
+    @given(count=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_failing_grid_points_merge_byte_identical(
+        self, count, unsharded_failing
+    ):
+        # Half the grid fails (unknown memory, raised lazily inside the
+        # sweep) — the failures must land in the same order, with the
+        # same attempt counts and tracebacks, as the unsharded run.
+        assert len(unsharded_failing.failures) == 2
+        shards = [
+            sweep("eightq", shard=(i, count), **FAILING_AXES) for i in range(count)
+        ]
+        merged = merge_shards(shards)
+        assert merged.failures == unsharded_failing.failures
+        assert pickle.dumps(merged) == pickle.dumps(unsharded_failing)
+
+    def test_sweep_many_shards_across_workloads(self):
+        axes = dict(cache_sizes=(256, 512), memories=("eprom",))
+        unsharded = sweep_many(("eightq", "lloop01"), **axes)
+        # 3 shards over 2 workloads x 2 grid points: shard boundaries
+        # intentionally do not line up with workload boundaries.
+        shards = [
+            sweep_many(("eightq", "lloop01"), shard=(i, 3), **axes)
+            for i in range(3)
+        ]
+        assert sum(len(shard) for shard in shards) == len(unsharded)
+        merged = merge_shards(shards)
+        assert merged == unsharded
+        assert pickle.dumps(merged) == pickle.dumps(unsharded)
+
+    def test_sweep_many_shard_can_be_empty(self):
+        axes = dict(cache_sizes=(256,), memories=("eprom",))
+        # 2 tasks over 3 shards: the middle slice is empty but valid.
+        sizes = [
+            len(sweep_many(("eightq", "lloop01"), shard=(i, 3), **axes))
+            for i in range(3)
+        ]
+        assert sum(sizes) == 2
+        assert 0 in sizes
+
+    def test_parallel_run_matches_serial_including_failures(self, monkeypatch):
+        _force_pool(monkeypatch)
+        serial = sweep("eightq", **FAILING_AXES)
+        parallel = sweep("eightq", jobs=2, **FAILING_AXES)
+        assert parallel.reports == serial.reports
+        assert parallel.failures == serial.failures
+
+    def test_unknown_workload_fails_once_per_covering_shard(self):
+        result = sweep("no-such-workload", **AXES)
+        assert result.reports == ()
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.detail == "study build (4 grid points)"
+        assert failure.attempts == 1
+
+
+# ----------------------------------------------------------------------
+# Shard files: round trip + validation
+# ----------------------------------------------------------------------
+
+
+def _spec(**overrides) -> dict:
+    spec = {"workloads": ["eightq"], "axes": dict(AXES)}
+    spec.update(overrides)
+    return spec
+
+
+class TestShardFiles:
+    def test_round_trip_merges_in_any_order(self, tmp_path):
+        unsharded = sweep("eightq", **AXES)
+        paths = []
+        for index in range(3):
+            result = sweep("eightq", shard=(index, 3), **AXES)
+            paths.append(
+                write_shard_file(
+                    tmp_path / f"s{index}.pkl", result, (index, 3), _spec()
+                )
+            )
+        merged = merge_shard_files([paths[2], paths[0], paths[1]])
+        assert merged == unsharded
+        # Byte-identity across a *file* round trip is asserted on the
+        # deterministic JSON export (what ``cmp`` checks in CI); raw
+        # pickles legitimately differ in object-sharing layout.
+        from repro.tools.sweep import result_payload
+
+        assert json.dumps(result_payload(merged), sort_keys=True) == json.dumps(
+            result_payload(unsharded), sort_keys=True
+        )
+
+    def test_missing_file_is_a_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            merge_shard_files([tmp_path / "nope.pkl"])
+
+    def test_garbage_file_is_a_configuration_error(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            merge_shard_files([path])
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "wrong.pkl"
+        path.write_bytes(pickle.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ConfigurationError, match="shard file"):
+            merge_shard_files([path])
+
+    def test_incomplete_partition_is_rejected(self, tmp_path):
+        empty = SweepResult(reports=())
+        a = write_shard_file(tmp_path / "a.pkl", empty, (0, 3), _spec())
+        b = write_shard_file(tmp_path / "b.pkl", empty, (2, 3), _spec())
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            merge_shard_files([a, b])
+
+    def test_duplicate_indices_are_rejected(self, tmp_path):
+        empty = SweepResult(reports=())
+        a = write_shard_file(tmp_path / "a.pkl", empty, (0, 2), _spec())
+        b = write_shard_file(tmp_path / "b.pkl", empty, (0, 2), _spec())
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            merge_shard_files([a, b])
+
+    def test_mismatched_spec_is_rejected(self, tmp_path):
+        empty = SweepResult(reports=())
+        a = write_shard_file(tmp_path / "a.pkl", empty, (0, 2), _spec())
+        b = write_shard_file(
+            tmp_path / "b.pkl", empty, (1, 2), _spec(workloads=["lloop01"])
+        )
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            merge_shard_files([a, b])
+
+    def test_mismatched_counts_are_rejected(self, tmp_path):
+        empty = SweepResult(reports=())
+        a = write_shard_file(tmp_path / "a.pkl", empty, (0, 2), _spec())
+        b = write_shard_file(tmp_path / "b.pkl", empty, (1, 3), _spec())
+        with pytest.raises(ConfigurationError, match="shard count"):
+            merge_shard_files([a, b])
+
+    def test_no_files_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="no shard files"):
+            merge_shard_files([])
+
+
+# ----------------------------------------------------------------------
+# Single-flight: a cold parallel sweep builds each artifact exactly once
+# ----------------------------------------------------------------------
+
+
+class TestSingleFlightBuilds:
+    def _cold_sweep_builds(self, monkeypatch, cache_dir, jobs):
+        monkeypatch.setenv(artifacts.ENV_CACHE_DIR, str(cache_dir))
+        artifacts.clear()
+        before = METRICS.counter("artifacts.build")
+        result = sweep("eightq", jobs=jobs, **AXES)
+        assert result.ok and len(result) == 4
+        return METRICS.counter("artifacts.build") - before
+
+    def test_parallel_cold_cache_builds_each_artifact_once(
+        self, tmp_path, monkeypatch
+    ):
+        """The thundering-herd regression test.
+
+        Before the single-flight pre-warm, a cold ``jobs=N`` sweep
+        re-simulated the study in every worker: N trace builds, N image
+        builds... all for identical cache keys.  Now the build counter
+        must equal the number of distinct artifacts on disk.
+        """
+        _force_pool(monkeypatch)
+        # Prime the in-memory LRUs (workload load, standard code, trace
+        # memo) into a throwaway cache dir so the parallel and serial
+        # cold-disk runs below start from identical in-memory state and
+        # their build counts are comparable.
+        self._cold_sweep_builds(monkeypatch, tmp_path / "prime", None)
+        parallel_dir = tmp_path / "parallel"
+        parallel_builds = self._cold_sweep_builds(monkeypatch, parallel_dir, 2)
+        # "superops" is excluded: it is an incremental accumulate-and-store
+        # cache the executor writes outside get_or_compute (no build count).
+        stored = len([
+            path
+            for path in parallel_dir.rglob("*.pkl")
+            if path.parent.name != "superops"
+        ])
+        assert stored > 0
+        assert parallel_builds == stored
+
+        # And the parallel cold run does no more building than a serial
+        # cold run of the same sweep into a fresh cache.
+        serial_builds = self._cold_sweep_builds(
+            monkeypatch, tmp_path / "serial", None
+        )
+        assert parallel_builds == serial_builds
+
+    def test_parallel_warm_cache_builds_nothing(self, tmp_path, monkeypatch):
+        _force_pool(monkeypatch)
+        cache_dir = tmp_path / "warm"
+        self._cold_sweep_builds(monkeypatch, cache_dir, 2)
+        artifacts.clear()  # drop the in-memory study, keep the disk cache
+        before = METRICS.counter("artifacts.build")
+        result = sweep("eightq", jobs=2, **AXES)
+        assert result.ok
+        assert METRICS.counter("artifacts.build") == before
+
+    def test_parallel_reports_match_serial(self, monkeypatch):
+        _force_pool(monkeypatch)
+        serial = sweep("eightq", **AXES)
+        parallel = sweep("eightq", jobs=2, **AXES)
+        assert parallel == serial
+
+
+# ----------------------------------------------------------------------
+# effective_jobs / worker-count plumbing
+# ----------------------------------------------------------------------
+
+
+class TestEffectiveJobs:
+    def test_prefers_scheduler_affinity_over_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_module.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
+        monkeypatch.setattr(sweep_module.os, "cpu_count", lambda: 64)
+        assert sweep_module.available_cpus() == 1
+        assert effective_jobs(8, 100) == 1
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(
+            sweep_module.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(sweep_module.os, "cpu_count", lambda: 3)
+        assert sweep_module.available_cpus() == 3
+        assert effective_jobs(8, 100) == 3
+
+    def test_clamps_to_tasks_and_request(self, monkeypatch):
+        _force_pool(monkeypatch, cpus=16)
+        assert effective_jobs(None, 100) == 1
+        assert effective_jobs(4, 2) == 2
+        assert effective_jobs(4, 100) == 4
+        assert effective_jobs(0, 100) == 1
+
+    def test_sweep_records_workers_gauge(self, monkeypatch):
+        _force_pool(monkeypatch)
+        sweep("eightq", jobs=2, **AXES)
+        assert METRICS.gauge_value("sweep.workers") == 2
+        sweep("eightq", jobs=1, **AXES)
+        assert METRICS.gauge_value("sweep.workers") == 1
+
+    def test_serial_sweep_records_no_gauge(self):
+        METRICS.reset()
+        sweep("eightq", **AXES)
+        assert "sweep.workers" not in METRICS.snapshot()["gauges"]
+
+
+# ----------------------------------------------------------------------
+# sweep_many whole-workload fallback: true attempt counts
+# ----------------------------------------------------------------------
+
+
+def _exploding_sweep_one(workload, axes):
+    raise RuntimeError(f"worker for {workload} exploded")
+
+
+class TestRecoverWorkload:
+    def test_reports_true_attempts_and_honors_retries(self, monkeypatch):
+        calls = []
+
+        def always_failing(workload, **axes):
+            calls.append(workload)
+            raise RuntimeError("still broken")
+
+        monkeypatch.setattr(sweep_module, "sweep", always_failing)
+        before = METRICS.counter("sweep.retries")
+        reports, failures = sweep_module._recover_workload(
+            "eightq", {}, 3, RuntimeError("pool died"), False
+        )
+        assert reports == ()
+        assert len(failures) == 1
+        failure = failures[0]
+        assert failure.detail == "whole-workload sweep"
+        assert failure.error_type == "RuntimeError"
+        assert failure.message == "still broken"
+        assert failure.attempts == 4  # 1 pooled attempt + 3 re-runs
+        assert len(calls) == 3
+        assert METRICS.counter("sweep.retries") - before == 3
+
+    def test_zero_retries_reports_the_original_error(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_module,
+            "sweep",
+            lambda workload, **axes: pytest.fail("must not re-run"),
+        )
+        reports, failures = sweep_module._recover_workload(
+            "eightq", {}, 0, RuntimeError("pool died"), False
+        )
+        assert reports == ()
+        assert failures[0].attempts == 1
+        assert failures[0].message == "pool died"
+
+    def test_successful_retry_returns_the_result(self, monkeypatch):
+        sentinel = SweepResult(reports=(), failures=())
+        monkeypatch.setattr(
+            sweep_module, "sweep", lambda workload, **axes: sentinel
+        )
+        reports, failures = sweep_module._recover_workload(
+            "eightq", {}, 1, RuntimeError("pool died"), False
+        )
+        assert reports == sentinel.reports
+        assert failures == ()
+
+    def test_strict_reraises_annotated(self):
+        with pytest.raises(RuntimeError, match="workload 'eightq'"):
+            sweep_module._recover_workload(
+                "eightq", {}, 1, RuntimeError("pool died"), True
+            )
+
+    def test_pool_death_recovers_in_parent(self, monkeypatch):
+        """A dead whole-workload worker falls back to an in-process run."""
+        _force_pool(monkeypatch)
+        monkeypatch.setattr(sweep_module, "_sweep_one", _exploding_sweep_one)
+        axes = dict(cache_sizes=(256,), memories=("eprom",))
+        result = sweep_many(("eightq", "lloop01"), jobs=2, **axes)
+        serial = sweep_many(("eightq", "lloop01"), **axes)
+        assert result.ok
+        assert result == serial
+
+
+# ----------------------------------------------------------------------
+# ccrp-sweep CLI: shard round trip is byte-identical, merge validation
+# ----------------------------------------------------------------------
+
+
+class TestSweepCLI:
+    BASE = [
+        "eightq",
+        "lloop01",
+        "--cache-sizes", "256", "512",
+        "--memories", "eprom",
+    ]
+
+    def _main(self, argv):
+        from repro.tools.sweep import main
+
+        return main(argv)
+
+    def test_shard_merge_byte_identical_to_serial(self, tmp_path, capsys):
+        serial_json = tmp_path / "serial.json"
+        assert self._main(self.BASE + ["--json", str(serial_json)]) == 0
+        shard_paths = []
+        for index in range(3):
+            path = tmp_path / f"shard{index}.pkl"
+            assert (
+                self._main(
+                    self.BASE
+                    + ["--shard", f"{index}/3", "--emit-shard", str(path)]
+                )
+                == 0
+            )
+            shard_paths.append(path)
+        merged_json = tmp_path / "merged.json"
+        # Scrambled order: the merge sorts shards by index.
+        merge_argv = [
+            "--merge",
+            str(shard_paths[2]),
+            str(shard_paths[0]),
+            str(shard_paths[1]),
+            "--json",
+            str(merged_json),
+        ]
+        assert self._main(merge_argv) == 0
+        assert merged_json.read_bytes() == serial_json.read_bytes()
+        payload = json.loads(merged_json.read_text())
+        assert payload["schema"] == "ccrp-sweep/1"
+        assert len(payload["reports"]) == 4
+        assert payload["failures"] == []
+
+    def test_emit_shard_defaults_to_whole_sweep(self, tmp_path, capsys):
+        path = tmp_path / "whole.pkl"
+        assert self._main(self.BASE + ["--emit-shard", str(path)]) == 0
+        merged = merge_shard_files([path])
+        assert len(merged) == 4
+
+    def test_failures_exit_nonzero_but_write_results(self, tmp_path, capsys):
+        out = tmp_path / "partial.json"
+        argv = [
+            "eightq",
+            "--cache-sizes", "256",
+            "--memories", "eprom", "nosuch",
+            "--json", str(out),
+        ]
+        assert self._main(argv) == 1
+        payload = json.loads(out.read_text())
+        assert len(payload["reports"]) == 1
+        assert len(payload["failures"]) == 1
+        assert payload["failures"][0]["error_type"] == "ConfigurationError"
+
+    def test_merge_of_wrong_specs_exits_2(self, tmp_path, capsys):
+        empty = SweepResult(reports=())
+        a = write_shard_file(tmp_path / "a.pkl", empty, (0, 2), _spec())
+        b = write_shard_file(
+            tmp_path / "b.pkl", empty, (1, 2), _spec(workloads=["other"])
+        )
+        assert self._main(["--merge", str(a), str(b)]) == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["eightq", "--merge", "x.pkl"],  # merge + workloads
+            [],  # neither
+            ["eightq", "--jobs", "0"],
+            ["eightq", "--retries", "-1"],
+            ["eightq", "--shard", "3"],  # not I/N
+        ],
+    )
+    def test_usage_errors_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            self._main(argv)
+        assert excinfo.value.code == 2
+
+    def test_metrics_export_includes_workers_gauge(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        _force_pool(monkeypatch)
+        metrics_path = tmp_path / "metrics.json"
+        argv = self.BASE + [
+            "--jobs", "2",
+            "--metrics", str(metrics_path),
+        ]
+        assert self._main(argv) == 0
+        payload = json.loads(metrics_path.read_text())
+        assert payload["gauges"]["sweep.workers"] == 2
+        assert payload["jobs"] == 2
