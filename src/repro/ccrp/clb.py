@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from collections.abc import Iterable
+from itertools import islice
 
 from repro.errors import ConfigurationError
 
@@ -67,7 +68,10 @@ class CLB:
         self.misses += 1
         if len(lru) >= self.entries:
             if self.policy == "random":
-                victim = self._rng.choice(list(lru))
+                # Same RNG consumption as random.choice(list(lru)) — choice
+                # is seq[_randbelow(len)] — but walks to the victim instead
+                # of materialising the whole buffer per miss.
+                victim = next(islice(iter(lru), self._rng.randrange(len(lru)), None))
                 del lru[victim]
             else:  # lru and fifo both evict the oldest ordering entry
                 lru.popitem(last=False)
@@ -75,7 +79,13 @@ class CLB:
         return False
 
     def simulate(self, lat_indices: Iterable[int]) -> int:
-        """Run a whole sequence of probes; returns the miss count added."""
+        """Run a whole sequence of probes; returns the miss count added.
+
+        Accepts any iterable of LAT indices, numpy arrays included.  This
+        stateful walk is the golden reference for the vectorized LRU
+        miss curves in :mod:`repro.ccrp.stackdist` and the only simulator
+        for the ``fifo``/``random`` ablation policies.
+        """
         before = self.misses
         for lat_index in lat_indices:
             self.access(lat_index)

@@ -32,6 +32,7 @@ from repro.ccrp.image import CompressedImage
 from repro.core.metrics import METRICS
 from repro.faults.integrity import crc8, validate_integrity_policy
 from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY, LATEntry
+from repro.memsys.models import memsys_reference_mode
 
 
 class ExpandingInstructionCache:
@@ -72,14 +73,22 @@ class ExpandingInstructionCache:
         self.num_sets = cache_bytes // line_size
         self.clb = CLB(entries=clb_entries)
         self.integrity = integrity
+        # Size accounting gives the layout length without serialising, so
+        # the image is serialised at most once (memoised) and not at all
+        # when an override is supplied.
+        expected_bytes = image.lat.storage_bytes + image.compressed_code_bytes
         self._memory = (
             memory_image if memory_image is not None else image.memory_image()
         )  # starts at lat_base
-        if len(self._memory) != len(image.memory_image()):
+        if len(self._memory) != expected_bytes:
             raise ConfigurationError(
                 "memory_image override must match the image layout "
-                f"({len(image.memory_image())} bytes, got {len(self._memory)})"
+                f"({expected_bytes} bytes, got {len(self._memory)})"
             )
+        # A pristine store can serve refills from the image's one batch
+        # decode; an overridden (possibly corrupted) store must decode
+        # whatever bytes the walk actually fetched.
+        self._use_batch = memory_image is None and not memsys_reference_mode()
         self._tags: list[int | None] = [None] * self.num_sets
         self._lines: list[bytes] = [b""] * self.num_sets
         self.hits = 0
@@ -139,6 +148,12 @@ class ExpandingInstructionCache:
 
         if not entry.is_compressed(slot):
             return stored
+        # The batch-decoded line is only valid if the walk fetched exactly
+        # the block's stored bytes — the comparison keeps the LAT walk
+        # honest, and anything else (corruption, walk bugs) decodes the
+        # fetched bytes scalar, exactly as the hardware would.
+        if self._use_batch and stored == image.blocks[block_index].data:
+            return image.expanded_lines()[block_index]
         return image.code.decode_fast(stored, self.line_size)
 
     def _verify(self, block_index: int, line_number: int, stored: bytes) -> None:

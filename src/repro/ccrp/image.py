@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.block import CompressedBlock
+from repro.compression.block import BlockArrays, CompressedBlock, build_block_arrays
 from repro.compression.huffman import HuffmanCode
 from repro.errors import LATError
 from repro.lat.table import LineAddressTable
@@ -170,6 +170,63 @@ class CompressedImage:
         """Serialise LAT + blocks exactly as laid out in memory.
 
         The returned bytes start at ``lat_base``; ``code_base`` equals
-        ``lat_base + lat.storage_bytes``.
+        ``lat_base + lat.storage_bytes``.  Memoised — the image is frozen,
+        so every caller shares one serialisation.
         """
-        return self.lat.serialize() + b"".join(block.data for block in self.blocks)
+        cached = getattr(self, "_memory_image_cache", None)
+        if cached is None:
+            cached = self.lat.serialize() + b"".join(
+                block.data for block in self.blocks
+            )
+            object.__setattr__(self, "_memory_image_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Vectorized views (cached; see repro.ccrp.decoder / stackdist)
+    # ------------------------------------------------------------------
+
+    def block_arrays(self) -> BlockArrays | None:
+        """Columnar numpy view of the blocks for the refill kernels.
+
+        ``None`` when the blocks are not uniform full lines (only
+        possible for hand-built images); callers then fall back to the
+        scalar per-block loops.
+        """
+        if not hasattr(self, "_block_arrays_cache"):
+            object.__setattr__(
+                self,
+                "_block_arrays_cache",
+                build_block_arrays(self.blocks, self.line_size),
+            )
+        return getattr(self, "_block_arrays_cache")
+
+    def expanded_lines(self) -> tuple[bytes, ...]:
+        """Every cache line of the program, decompressed in one batch.
+
+        One ``decode_lines`` pass over all compressed blocks (bypass
+        blocks are returned verbatim), memoised so every consumer of a
+        pristine image — functional cache refills, fault-study surveys —
+        shares a single decode.
+        """
+        cached = getattr(self, "_expanded_lines_cache", None)
+        if cached is None:
+            blobs = [block.data for block in self.blocks if block.is_compressed]
+            decoded = iter(self.code.decode_lines(blobs, self.line_size))
+            cached = tuple(
+                next(decoded) if block.is_compressed else block.data
+                for block in self.blocks
+            )
+            object.__setattr__(self, "_expanded_lines_cache", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        """Drop memoised views when pickling image artifacts.
+
+        Everything in a ``_*_cache`` attribute is derived and rebuilt
+        lazily; serialising it would multiply the on-disk artifact size.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.endswith("_cache")
+        }

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CompressionError
 from repro.compression.huffman import HuffmanCode
 
@@ -46,6 +48,53 @@ class CompressedBlock:
     def stored_size(self) -> int:
         """Bytes this block occupies in instruction memory."""
         return len(self.data)
+
+
+@dataclass(frozen=True)
+class BlockArrays:
+    """Columnar numpy view of a block sequence for the vectorized kernels.
+
+    Attributes:
+        stored_sizes: Stored bytes of every block, in block order.
+        compressed: Boolean mask of blocks that went through the encoder.
+        symbol_bits: Per-byte encoded bit lengths of the *compressed*
+            blocks only, one row per block in block order — rectangular
+            because every compressed block covers exactly one full line.
+    """
+
+    stored_sizes: np.ndarray
+    compressed: np.ndarray
+    symbol_bits: np.ndarray
+
+
+def build_block_arrays(
+    blocks: tuple[CompressedBlock, ...] | list[CompressedBlock], line_size: int
+) -> BlockArrays | None:
+    """Build the columnar view, or ``None`` when blocks are not uniform.
+
+    Block-bounded compression always produces full-line blocks, so the
+    ``None`` case (a compressed block whose symbol count differs from the
+    line size) only arises for hand-built block lists; callers fall back
+    to the scalar per-block loops.
+    """
+    count = len(blocks)
+    stored_sizes = np.fromiter(
+        (block.stored_size for block in blocks), dtype=np.int64, count=count
+    )
+    compressed = np.fromiter(
+        (block.is_compressed for block in blocks), dtype=bool, count=count
+    )
+    rows = [block.symbol_bits for block in blocks if block.is_compressed]
+    if any(row is None or len(row) != line_size for row in rows):
+        return None
+    symbol_bits = (
+        np.array(rows, dtype=np.int64)
+        if rows
+        else np.zeros((0, line_size), dtype=np.int64)
+    )
+    return BlockArrays(
+        stored_sizes=stored_sizes, compressed=compressed, symbol_bits=symbol_bits
+    )
 
 
 class BlockCompressor:
@@ -158,8 +207,18 @@ class BlockCompressor:
         return self.code.decode_fast(block.data, self.line_size)
 
     def decompress_program(self, blocks: list[CompressedBlock]) -> bytes:
-        """Expand every block, reconstructing the padded text segment."""
-        return b"".join(self.decompress_block(block) for block in blocks)
+        """Expand every block, reconstructing the padded text segment.
+
+        All compressed blocks go through one batch ``decode_lines`` pass;
+        bypass blocks are spliced back verbatim.  Output (and the first
+        failure, for corrupt streams) is identical to mapping
+        :meth:`decompress_block`.
+        """
+        compressed_blobs = [block.data for block in blocks if block.is_compressed]
+        decoded = iter(self.code.decode_lines(compressed_blobs, self.line_size))
+        return b"".join(
+            next(decoded) if block.is_compressed else block.data for block in blocks
+        )
 
     # ------------------------------------------------------------------
     # Size accounting

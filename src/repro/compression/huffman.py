@@ -323,6 +323,19 @@ class HuffmanCode:
         ]
         return encoded, line_bits
 
+    def __getstate__(self) -> dict:
+        """Drop derived decode/encode tables when pickling.
+
+        Every ``_*_cache`` attribute is rebuilt lazily on demand, and the
+        full-window table alone is 128 KiB — without this, each pickled
+        image artifact would carry every table the code ever built.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.endswith("_cache")
+        }
+
     def decode(self, blob: bytes, symbol_count: int) -> bytes:
         """Decode ``symbol_count`` symbols from ``blob``."""
         reader = BitReader(blob)
@@ -438,4 +451,160 @@ class HuffmanCode:
                     long_table[(length, self.codes[symbol])] = symbol
             cached = (fast_symbols, fast_lengths, long_table)
             object.__setattr__(self, "_fast_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Batch line decoding (vectorized companion to encode_lines)
+    # ------------------------------------------------------------------
+
+    #: Widest code the full-window table covers: 2^16 entries is exactly
+    #: the paper's "64K entry mapping ROM".  Longer (degenerate unbounded)
+    #: codes fall back to per-line decode_fast.
+    _WINDOW_LIMIT = 16
+
+    def decode_lines(
+        self,
+        blobs: list[bytes],
+        symbol_count: int,
+        errors: str = "raise",
+    ) -> list[bytes | None]:
+        """Decode many independent encoded lines in one vectorized pass.
+
+        Each blob is decoded exactly as ``decode_fast(blob, symbol_count)``
+        would decode it — same output bytes, same error classification —
+        but all lines advance together: per decoded symbol one gather
+        reads a 3-byte window from every line's packed bit stream and one
+        full-window table lookup (the "64K mapping ROM" of paper Section
+        3.4, materialised as two numpy arrays) resolves the symbol and
+        code length for every line at once.  Lines are zero-padded into a
+        rectangular byte matrix, so no window ever reads a neighbouring
+        line's bits.
+
+        Args:
+            blobs: The encoded lines.  Order is preserved.
+            symbol_count: Symbols to decode from every blob (the cache
+                line size, for block-compressed programs).
+            errors: ``"raise"`` propagates the first failing blob's
+                :class:`~repro.errors.CompressionError` (same message and
+                blob order as a scalar ``decode_fast`` loop); ``"none"``
+                returns ``None`` in that blob's slot instead.
+        """
+        if errors not in ("raise", "none"):
+            raise CompressionError(
+                f"errors must be 'raise' or 'none', got {errors!r}"
+            )
+        if symbol_count < 0:
+            raise CompressionError(
+                f"symbol count cannot be negative, got {symbol_count}"
+            )
+        blobs = list(blobs)
+        if not blobs:
+            return []
+        if symbol_count == 0:
+            return [b""] * len(blobs)
+        if self.max_length > self._WINDOW_LIMIT:
+            return self._decode_lines_scalar(blobs, symbol_count, errors)
+
+        window_symbols, window_lengths = self._window_tables()
+        window_bits = self.max_length
+        fast_bits = self._FAST_BITS
+        count = len(blobs)
+        sizes = np.fromiter((len(blob) for blob in blobs), dtype=np.int64, count=count)
+        # Rectangular zero-padded layout; +3 slack bytes so the 3-byte
+        # window gather below stays in bounds even at end of stream.
+        width = int(sizes.max()) + 3
+        data = np.zeros(count * width, dtype=np.uint8)
+        flat = np.frombuffer(b"".join(blobs), dtype=np.uint8)
+        if flat.size:
+            owner = np.repeat(np.arange(count, dtype=np.int64), sizes)
+            column = np.arange(flat.size, dtype=np.int64) - np.repeat(
+                np.cumsum(sizes) - sizes, sizes
+            )
+            data[owner * width + column] = flat
+
+        position = np.zeros(count, dtype=np.int64)
+        total_bits = sizes * 8
+        out = np.zeros((count, symbol_count), dtype=np.uint8)
+        #: 0 = decoding, 1 = bit stream exhausted, 2 = invalid code word.
+        status = np.zeros(count, dtype=np.uint8)
+        live = np.arange(count, dtype=np.int64)
+        for index in range(symbol_count):
+            if live.size == 0:
+                break
+            bit_pos = position[live]
+            remaining = total_bits[live] - bit_pos
+            base = live * width + (bit_pos >> 3)
+            window = (
+                (data[base].astype(np.int64) << 16)
+                | (data[base + 1].astype(np.int64) << 8)
+                | data[base + 2].astype(np.int64)
+            ) >> (24 - window_bits - (bit_pos & 7))
+            window &= (1 << window_bits) - 1
+            length = window_lengths[window].astype(np.int64)
+            symbol = window_symbols[window]
+            # Error classification matches decode_fast exactly: no bits
+            # left is exhaustion; a window matching no code is invalid; a
+            # matched code longer than the bits left is exhaustion when
+            # the fast table found it, invalid when the long-code scan
+            # would have given up before reaching its length.
+            exhausted = remaining <= 0
+            invalid = ~exhausted & (length == 0)
+            overrun = ~exhausted & ~invalid & (length > remaining)
+            status[live[exhausted | (overrun & (length <= fast_bits))]] = 1
+            status[live[invalid | (overrun & (length > fast_bits))]] = 2
+            ok = ~(exhausted | invalid | overrun)
+            good = live[ok]
+            out[good, index] = symbol[ok]
+            position[good] = bit_pos[ok] + length[ok]
+            live = good
+
+        if errors == "raise":
+            bad = np.nonzero(status)[0]
+            if bad.size:
+                raise CompressionError(
+                    "bit stream exhausted"
+                    if status[int(bad[0])] == 1
+                    else "invalid code word in stream"
+                )
+        return [
+            out[index].tobytes() if status[index] == 0 else None
+            for index in range(count)
+        ]
+
+    def _decode_lines_scalar(
+        self, blobs: list[bytes], symbol_count: int, errors: str
+    ) -> list[bytes | None]:
+        """Per-line fallback for codes wider than the window table."""
+        results: list[bytes | None] = []
+        for blob in blobs:
+            try:
+                results.append(self.decode_fast(blob, symbol_count))
+            except CompressionError:
+                if errors == "raise":
+                    raise
+                results.append(None)
+        return results
+
+    def _window_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Full-window lookup: symbol and length per ``max_length`` prefix.
+
+        One entry per possible ``max_length``-bit window; every code word
+        owns the contiguous range of windows it prefixes.  Length 0 marks
+        windows no code word matches.
+        """
+        cached = getattr(self, "_window_cache", None)
+        if cached is None:
+            window_bits = self.max_length
+            symbols = np.zeros(1 << window_bits, dtype=np.uint8)
+            lengths = np.zeros(1 << window_bits, dtype=np.uint8)
+            for symbol in range(ALPHABET):
+                length = self.lengths[symbol]
+                if length == 0:
+                    continue
+                start = self.codes[symbol] << (window_bits - length)
+                span = 1 << (window_bits - length)
+                symbols[start : start + span] = symbol
+                lengths[start : start + span] = length
+            cached = (symbols, lengths)
+            object.__setattr__(self, "_window_cache", cached)
         return cached

@@ -15,6 +15,7 @@ from repro.cache.stats import CacheStats
 from repro.ccrp.clb import CLB
 from repro.ccrp.compressor import ProgramCompressor
 from repro.ccrp.refill import RefillEngine
+from repro.ccrp.stackdist import lru_miss_count, lru_miss_curve
 from repro.compression.huffman import HuffmanCode
 from repro.core import artifacts
 from repro.core.config import SystemConfig
@@ -22,7 +23,7 @@ from repro.core.metrics import METRICS
 from repro.core.performance import ComparisonReport, SystemMetrics
 from repro.core.standard import standard_code
 from repro.lat.entry import ENTRY_BYTES, LINES_PER_ENTRY
-from repro.memsys.models import get_memory_model
+from repro.memsys.models import get_memory_model, memsys_reference_mode
 from repro.pipeline.datapath import PipelineResult
 from repro.pipeline.frontend import (
     baseline_critical_word_cycles,
@@ -87,6 +88,7 @@ class ProgramStudy:
 
         self._cache_stats: dict[int, CacheStats] = {}
         self._clb_misses: dict[tuple[int, int], int] = {}
+        self._clb_curves: dict[int, np.ndarray] = {}
         self._engines: dict[str, RefillEngine] = {}
         self._pipeline_replay: PipelineResult | None = None
         self._miss_addresses: dict[int, np.ndarray] = {}
@@ -113,7 +115,15 @@ class ProgramStudy:
         return stats
 
     def clb_miss_count(self, cache_bytes: int, clb_entries: int) -> int:
-        """CLB misses over the miss stream of one cache size (cached)."""
+        """CLB misses over the miss stream of one cache size (cached).
+
+        Served from the one-pass stack-distance miss curve, so sweeping
+        CLB sizes costs one simulation per cache size.  With
+        ``CCRP_MEMSYS_REFERENCE`` set, the stateful :class:`CLB` walks
+        the stream instead — the golden reference the curve is pinned to.
+        """
+        if not memsys_reference_mode():
+            return lru_miss_count(self._clb_curve(cache_bytes), clb_entries)
         key = (cache_bytes, clb_entries)
         count = self._clb_misses.get(key)
         if count is None:
@@ -122,7 +132,7 @@ class ProgramStudy:
 
                 def _simulate() -> int:
                     lat_indices = miss_lines // LINES_PER_ENTRY
-                    return CLB(entries=clb_entries).simulate(lat_indices.tolist())
+                    return CLB(entries=clb_entries).simulate(lat_indices)
 
                 count = artifacts.get_cache().get_or_compute(
                     "clb-misses",
@@ -134,6 +144,37 @@ class ProgramStudy:
                 )
             self._clb_misses[key] = count
         return count
+
+    def clb_miss_counts(self, cache_bytes: int) -> dict[int, int]:
+        """Miss counts for *every* CLB capacity over one cache size.
+
+        One stack-distance pass yields the whole curve: keys run from 1
+        up to the largest finite stack distance in the stream; any larger
+        CLB takes exactly the last entry's (cold-miss) count.
+        """
+        curve = self._clb_curve(cache_bytes)
+        if curve.size == 1:  # empty miss stream
+            return {1: int(curve[0])}
+        return {entries: int(curve[entries]) for entries in range(1, curve.size)}
+
+    def _clb_curve(self, cache_bytes: int) -> np.ndarray:
+        curve = self._clb_curves.get(cache_bytes)
+        if curve is None:
+            with METRICS.stage("study.clb_sim"):
+                miss_lines = self.cache_stats(cache_bytes).miss_lines
+
+                def _curve() -> np.ndarray:
+                    return lru_miss_curve(miss_lines // LINES_PER_ENTRY)
+
+                curve = artifacts.get_cache().get_or_compute(
+                    "clb-curve",
+                    _curve,
+                    *self._trace_key,
+                    cache_bytes,
+                    self.image.line_size,
+                )
+            self._clb_curves[cache_bytes] = curve
+        return curve
 
     def refill_engine(self, memory: object, decoder) -> RefillEngine:
         """Refill-cost tables for one memory model (cached per name)."""
