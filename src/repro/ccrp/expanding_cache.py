@@ -26,7 +26,7 @@ unchanged program.
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError, IntegrityError
+from repro.errors import CompressionError, ConfigurationError, IntegrityError
 from repro.ccrp.clb import CLB
 from repro.ccrp.image import CompressedImage
 from repro.core.metrics import METRICS
@@ -153,8 +153,17 @@ class ExpandingInstructionCache:
         # honest, and anything else (corruption, walk bugs) decodes the
         # fetched bytes scalar, exactly as the hardware would.
         if self._use_batch and stored == image.blocks[block_index].data:
-            return image.expanded_lines()[block_index]
-        return image.code.decode_fast(stored, self.line_size)
+            line = image.expanded_lines()[block_index]
+            # A None slot is a blob the batch decode could not expand
+            # (image built from corrupted storage).  Fall through to the
+            # scalar decoder so the failure is attributed to *this*
+            # line, instead of the batch poisoning every refill.
+            if line is not None:
+                return line
+        try:
+            return image.code.decode_fast(stored, self.line_size)
+        except CompressionError as error:
+            raise CompressionError(f"line {line_number}: {error}") from error
 
     def _verify(self, block_index: int, line_number: int, stored: bytes) -> None:
         """Check the fetched block against its per-line CRC.

@@ -200,18 +200,25 @@ class CompressedImage:
             )
         return getattr(self, "_block_arrays_cache")
 
-    def expanded_lines(self) -> tuple[bytes, ...]:
+    def expanded_lines(self) -> tuple[bytes | None, ...]:
         """Every cache line of the program, decompressed in one batch.
 
         One ``decode_lines`` pass over all compressed blocks (bypass
         blocks are returned verbatim), memoised so every consumer of a
         pristine image — functional cache refills, fault-study surveys —
         shares a single decode.
+
+        A block whose stored bytes no longer decode (an image rebuilt
+        from corrupted storage) occupies its slot as ``None`` rather
+        than failing the whole batch: a corrupt line K must not poison
+        the refill of a healthy line J, and the error for line K itself
+        must carry K's attribution — so consumers decode ``None`` slots
+        through the scalar path, which raises per-line.
         """
         cached = getattr(self, "_expanded_lines_cache", None)
         if cached is None:
             blobs = [block.data for block in self.blocks if block.is_compressed]
-            decoded = iter(self.code.decode_lines(blobs, self.line_size))
+            decoded = iter(self.code.decode_lines(blobs, self.line_size, errors="none"))
             cached = tuple(
                 next(decoded) if block.is_compressed else block.data
                 for block in self.blocks

@@ -4,20 +4,31 @@ The harness promise is "speedups are measured, not asserted": every
 expensive stage (trace execution, compression, cache simulation, CLB
 simulation, whole experiments) runs inside a named :meth:`MetricsRegistry.stage`
 block, and the artifact cache counts its hits, misses, and stores.  The
-accumulated numbers serialise to a stable JSON schema (``ccrp-metrics/1``)
+accumulated numbers serialise to a stable JSON schema (``ccrp-metrics/2``)
 via ``ccrp-experiments --metrics out.json``:
 
 ::
 
     {
-      "schema": "ccrp-metrics/1",
+      "schema": "ccrp-metrics/2",
       "stages":   {"study.trace": {"calls": 8, "wall_seconds": ..., "cpu_seconds": ...}},
       "counters": {"artifacts.hit": 12, "artifacts.miss": 4, "artifacts.build": 4},
-      "gauges":   {"sweep.workers": 4}
+      "gauges":   {"sweep.workers": 4},
+      "observations": {"latency.compress": {"count": 9, "mean": ..., "p50": ..., "p99": ...}}
     }
 
 Worker processes report their own snapshots, which the parent folds in
 with :meth:`MetricsRegistry.merge`, so parallel runs are observable too.
+
+Every public method takes the registry lock and operates on consistent
+copies: :meth:`MetricsRegistry.snapshot` and :meth:`MetricsRegistry.merge`
+are safe to call while stage timers, counters, and observations are
+being recorded from other threads — the compression service samples its
+live registry from the asyncio thread while worker snapshots merge in
+from chunk completions.
+
+Schema history: ``/1`` had stages/counters/gauges only; ``/2`` adds the
+``observations`` section (value distributions with percentiles).
 """
 
 from __future__ import annotations
@@ -25,12 +36,22 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
 #: Version tag written into every metrics dump.
-SCHEMA = "ccrp-metrics/1"
+SCHEMA = "ccrp-metrics/2"
+
+#: Newest samples kept per observation series (FIFO window).
+MAX_SAMPLES = 4096
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
 
 
 @dataclass
@@ -50,6 +71,7 @@ class MetricsRegistry:
         self._stages: dict[str, StageStats] = {}
         self._counters: dict[str, int] = {}
         self._gauges: dict[str, float] = {}
+        self._samples: dict[str, deque[float]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -86,6 +108,19 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of a value distribution (e.g. a latency).
+
+        The registry keeps the newest :data:`MAX_SAMPLES` samples per
+        series; :meth:`snapshot` summarises each series with count,
+        mean, min/max, and nearest-rank p50/p99.
+        """
+        with self._lock:
+            series = self._samples.get(name)
+            if series is None:
+                series = self._samples[name] = deque(maxlen=MAX_SAMPLES)
+            series.append(float(value))
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -111,20 +146,42 @@ class MetricsRegistry:
             )
 
     def snapshot(self) -> dict:
-        """JSON-able copy of everything recorded so far."""
+        """JSON-able copy of everything recorded so far.
+
+        The copy is taken atomically under the registry lock, so a
+        snapshot read from one thread while another thread is recording
+        is internally consistent; the (possibly slow) percentile math
+        then runs on the copies, outside the lock.
+        """
         with self._lock:
-            return {
-                "stages": {
-                    name: {
-                        "calls": stats.calls,
-                        "wall_seconds": stats.wall_seconds,
-                        "cpu_seconds": stats.cpu_seconds,
-                    }
-                    for name, stats in sorted(self._stages.items())
-                },
-                "counters": dict(sorted(self._counters.items())),
-                "gauges": dict(sorted(self._gauges.items())),
+            stages = {
+                name: {
+                    "calls": stats.calls,
+                    "wall_seconds": stats.wall_seconds,
+                    "cpu_seconds": stats.cpu_seconds,
+                }
+                for name, stats in sorted(self._stages.items())
             }
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            samples = {name: list(series) for name, series in self._samples.items()}
+        observations = {}
+        for name in sorted(samples):
+            ordered = sorted(samples[name])
+            observations[name] = {
+                "count": len(ordered),
+                "mean": sum(ordered) / len(ordered),
+                "min": ordered[0],
+                "max": ordered[-1],
+                "p50": _percentile(ordered, 0.50),
+                "p99": _percentile(ordered, 0.99),
+            }
+        return {
+            "stages": stages,
+            "counters": counters,
+            "gauges": gauges,
+            "observations": observations,
+        }
 
     # ------------------------------------------------------------------
     # Combining and persisting
@@ -134,6 +191,11 @@ class MetricsRegistry:
         """Fold another registry's :meth:`snapshot` into this one.
 
         Used by the parallel runner to aggregate worker-process metrics.
+        Stages and counters add; gauges keep the maximum.  Observation
+        series are *node-local*: a snapshot carries their summaries, not
+        their samples, and percentiles cannot be combined from
+        summaries, so ``merge`` leaves the local series untouched rather
+        than fabricate a distribution.
         """
         with self._lock:
             for name, data in snapshot.get("stages", {}).items():
@@ -156,6 +218,7 @@ class MetricsRegistry:
             self._stages.clear()
             self._counters.clear()
             self._gauges.clear()
+            self._samples.clear()
 
     def write_json(self, path: str | Path, extra: dict | None = None) -> Path:
         """Write ``{"schema": ..., **extra, **snapshot}`` to ``path``."""

@@ -45,6 +45,36 @@ class ConfigurationError(ReproError):
     """A system configuration parameter is out of its supported range."""
 
 
+class ProtocolError(ReproError):
+    """A service frame violated the wire protocol.
+
+    Raised by :mod:`repro.service.protocol` for a bad magic number or
+    version, a length field past the frame limits, a connection closed
+    mid-frame, or an unparsable JSON header.  Protocol errors are never
+    retried: the peer's byte stream can no longer be trusted, so the
+    connection is closed.
+    """
+
+
+class ServiceError(ReproError):
+    """An error response from the compression service.
+
+    Attributes:
+        code: Machine-readable error code from the response (e.g.
+            ``"overloaded"``, ``"bad_request"``, ``"worker_crash"``,
+            ``"shutting_down"``, ``"job_failed"``).
+        failure: The serialised :class:`~repro.core.sweep.FailureReport`
+            dict attached to job failures, when the server captured one.
+    """
+
+    def __init__(
+        self, message: str, code: str = "internal", failure: dict | None = None
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.failure = failure
+
+
 class IntegrityError(ReproError):
     """A stored line failed its integrity check (corrupted instruction memory).
 

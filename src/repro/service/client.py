@@ -1,0 +1,187 @@
+"""Blocking client for the compression service.
+
+The client side of the frame protocol needs no asyncio: requests are
+synchronous round trips over a plain socket, decoded incrementally with
+:class:`~repro.service.protocol.FrameDecoder` so partial reads and
+pipelined responses are handled the same way the server handles partial
+writes.  Error responses come back as raised
+:class:`~repro.errors.ServiceError` (with the server's machine-readable
+``code`` and any attached failure report); framing violations raise
+:class:`~repro.errors.ProtocolError` and poison the connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from repro.errors import ConfigurationError, ProtocolError, ServiceError
+from repro.service.protocol import FrameDecoder, encode_frame
+
+#: Bytes per ``recv`` call.
+RECV_CHUNK = 1 << 16
+
+
+def parse_address(address: str) -> tuple:
+    """Parse a service address string.
+
+    ``"unix:/path/to.sock"`` names a Unix socket; ``"host:port"`` (or
+    ``":port"`` for localhost) names a TCP endpoint.
+    """
+    if not isinstance(address, str) or not address:
+        raise ConfigurationError(f"bad service address {address!r}")
+    if address.startswith("unix:"):
+        path = address[len("unix:") :]
+        if not path:
+            raise ConfigurationError("unix: address needs a socket path")
+        return ("unix", path)
+    host, separator, port = address.rpartition(":")
+    if not separator or not port.isdigit():
+        raise ConfigurationError(
+            f"bad service address {address!r} (want unix:/path or host:port)"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.CompressionServer`.
+
+    Usable as a context manager::
+
+        with ServiceClient("unix:/tmp/ccrp.sock") as client:
+            meta, blob = client.compress(text)
+            meta2, back = client.decompress(meta, blob)
+            assert back == text
+
+    A client is *not* thread-safe: it issues one request at a time and
+    matches responses by id on a single socket.
+    """
+
+    def __init__(
+        self, address: str, timeout: float | None = 60.0, name: str = "anon"
+    ) -> None:
+        self.address = parse_address(address)
+        self.name = name
+        if self.address[0] == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.connect(self.address[1])
+        else:
+            self._sock = socket.create_connection(self.address[1:])
+        self._sock.settimeout(timeout)
+        self._decoder = FrameDecoder()
+        self._ids = itertools.count(1)
+
+    # -- context management -------------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- the round trip -----------------------------------------------
+
+    def send(self, op: str, params: dict | None = None, payload: bytes = b"") -> int:
+        """Fire one request without waiting; returns its id.
+
+        Pipelining: several ``send`` calls may be outstanding, with
+        :meth:`recv` collecting responses in completion order.
+        """
+        request_id = next(self._ids)
+        frame = encode_frame(
+            {
+                "id": request_id,
+                "op": op,
+                "params": params or {},
+                "client": self.name,
+            },
+            payload,
+        )
+        self._sock.sendall(frame)
+        return request_id
+
+    def recv(self) -> tuple[int, dict, bytes]:
+        """The next response frame as ``(id, header, payload)``."""
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                header, payload = frame
+                return header.get("id"), header, payload
+            data = self._sock.recv(RECV_CHUNK)
+            if not data:
+                raise ProtocolError(
+                    "server closed the connection before responding"
+                )
+            self._decoder.feed(data)
+
+    @staticmethod
+    def unwrap(header: dict, payload: bytes) -> tuple[dict, bytes]:
+        """Turn a response into ``(result, payload)`` or a raised error."""
+        if header.get("ok"):
+            return header.get("result", {}), payload
+        error = header.get("error") or {}
+        raise ServiceError(
+            error.get("message", "unspecified server error"),
+            code=error.get("code", "internal"),
+            failure=error.get("failure"),
+        )
+
+    def request(
+        self, op: str, params: dict | None = None, payload: bytes = b""
+    ) -> tuple[dict, bytes]:
+        """One synchronous round trip; raises on an error response."""
+        request_id = self.send(op, params, payload)
+        response_id, header, out_payload = self.recv()
+        if response_id != request_id:
+            raise ProtocolError(
+                f"response id {response_id!r} for request {request_id!r}"
+            )
+        return self.unwrap(header, out_payload)
+
+    # -- convenience wrappers -----------------------------------------
+
+    def ping(self) -> bool:
+        result, _ = self.request("ping")
+        return bool(result.get("pong"))
+
+    def stats(self) -> dict:
+        result, _ = self.request("stats")
+        return result
+
+    def compress(
+        self, text: bytes, alignment: int = 1, integrity: bool = False
+    ) -> tuple[dict, bytes]:
+        """Compress ``text``; returns ``(metadata, stored_blob)``."""
+        return self.request(
+            "compress",
+            {"alignment": alignment, "integrity": integrity},
+            text,
+        )
+
+    def decompress(self, meta: dict, blob: bytes) -> bytes:
+        """Expand a ``compress`` result back to the original bytes."""
+        params = {
+            key: meta[key]
+            for key in (
+                "line_size",
+                "original_size",
+                "block_sizes",
+                "compressed_flags",
+                "code",
+                "line_crcs",
+            )
+            if key in meta
+        }
+        _, text = self.request("decompress", params, blob)
+        return text
+
+    def simulate(self, workload: str, **config) -> dict:
+        """One design-space grid point evaluated server-side."""
+        result, _ = self.request("simulate", {"workload": workload, **config})
+        return result

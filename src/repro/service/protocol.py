@@ -1,0 +1,207 @@
+"""The service wire protocol: length-prefixed JSON + binary frames.
+
+Every message in either direction is one *frame*:
+
+::
+
+    offset  size  field
+    0       2     magic  b"CZ"
+    2       1     version (currently 1)
+    3       1     flags   (reserved, must be 0)
+    4       4     header length H, big-endian unsigned
+    8       4     payload length P, big-endian unsigned
+    12      H     UTF-8 JSON header (an object)
+    12+H    P     opaque binary payload
+
+The JSON header carries the request/response structure (``id``, ``op``,
+``params`` / ``ok``, ``result``, ``error``); the binary payload carries
+program bytes and compressed blobs without base64 inflation.  Lengths
+are bounded (:data:`MAX_HEADER_BYTES`, :data:`MAX_PAYLOAD_BYTES`) so a
+hostile or corrupt peer can never make the receiver buffer unbounded
+memory, and any malformed prefix raises
+:class:`~repro.errors.ProtocolError` instead of desynchronising the
+stream: framing errors are terminal for the connection.
+
+Three consumption styles share one validator:
+
+* :func:`encode_frame` / :class:`FrameDecoder` — pure incremental
+  encode/decode for blocking sockets (the decoder never blocks and
+  never over-reads: feed it arbitrary chunks, take complete frames);
+* :func:`read_frame` / :func:`write_frame` — asyncio stream helpers for
+  the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.errors import ProtocolError
+
+#: First bytes of every frame; garbage on the wire fails here.
+MAGIC = b"CZ"
+
+#: Protocol version byte; incompatible changes bump it.
+VERSION = 1
+
+#: Fixed-size frame prefix: magic, version, flags, header len, payload len.
+HEADER_STRUCT = struct.Struct(">2sBBII")
+
+#: Bound on the JSON header — requests and responses are small.
+MAX_HEADER_BYTES = 8 * 1024 * 1024
+
+#: Bound on the binary payload (program text / compressed blobs).
+MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialise one frame.  ``header`` must be a JSON-able dict."""
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a dict, got {type(header).__name__}")
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    if len(header_bytes) > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"frame header of {len(header_bytes)} bytes exceeds the "
+            f"{MAX_HEADER_BYTES}-byte limit"
+        )
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    prefix = HEADER_STRUCT.pack(MAGIC, VERSION, 0, len(header_bytes), len(payload))
+    return prefix + header_bytes + bytes(payload)
+
+
+def parse_prefix(prefix: bytes) -> tuple[int, int]:
+    """Validate a 12-byte frame prefix; returns ``(header_len, payload_len)``."""
+    magic, version, flags, header_len, payload_len = HEADER_STRUCT.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} (speak {VERSION})")
+    if flags != 0:
+        raise ProtocolError(f"reserved frame flags must be 0, got {flags:#04x}")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"declared header length {header_len} exceeds the "
+            f"{MAX_HEADER_BYTES}-byte limit"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"declared payload length {payload_len} exceeds the "
+            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    return header_len, payload_len
+
+
+def decode_header(header_bytes: bytes) -> dict:
+    """Parse the JSON header; anything but a JSON object is a protocol error."""
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"unparsable frame header: {error}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream of unknown chunking.
+
+    Feed it whatever the transport produced — single bytes, half frames,
+    several frames at once — and take complete frames as they become
+    available.  The decoder never blocks, never loses bytes between
+    calls, and surfaces malformed input as
+    :class:`~repro.errors.ProtocolError` the moment the violation is
+    visible (a bad prefix fails after 12 bytes; nothing waits on a
+    length that will never arrive).  After an error the decoder is
+    poisoned: the stream position can no longer be trusted.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._error: ProtocolError | None = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet consumed by a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> None:
+        """Append transport bytes to the internal buffer."""
+        if self._error is not None:
+            raise self._error
+        self._buffer.extend(data)
+
+    def next_frame(self) -> tuple[dict, bytes] | None:
+        """The next complete ``(header, payload)``, or ``None`` if more
+        bytes are needed.  Raises on a malformed prefix or header."""
+        if self._error is not None:
+            raise self._error
+        if len(self._buffer) < HEADER_STRUCT.size:
+            return None
+        try:
+            header_len, payload_len = parse_prefix(
+                bytes(self._buffer[: HEADER_STRUCT.size])
+            )
+        except ProtocolError as error:
+            self._error = error
+            raise
+        total = HEADER_STRUCT.size + header_len + payload_len
+        if len(self._buffer) < total:
+            return None
+        header_bytes = bytes(
+            self._buffer[HEADER_STRUCT.size : HEADER_STRUCT.size + header_len]
+        )
+        payload = bytes(self._buffer[HEADER_STRUCT.size + header_len : total])
+        del self._buffer[:total]
+        try:
+            header = decode_header(header_bytes)
+        except ProtocolError as error:
+            self._error = error
+            raise
+        return header, payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[dict, bytes] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`~repro.errors.ProtocolError` for garbage or a connection
+    dropped mid-frame.
+    """
+    try:
+        prefix = await reader.readexactly(HEADER_STRUCT.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed inside a frame prefix "
+            f"({len(error.partial)}/{HEADER_STRUCT.size} bytes)"
+        ) from None
+    header_len, payload_len = parse_prefix(prefix)
+    try:
+        header_bytes = await reader.readexactly(header_len)
+        payload = await reader.readexactly(payload_len)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed inside a frame body "
+            f"(got {len(error.partial)} of {header_len + payload_len} bytes)"
+        ) from None
+    return decode_header(header_bytes), payload
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, header: dict, payload: bytes = b""
+) -> int:
+    """Encode and flush one frame; returns the bytes written."""
+    data = encode_frame(header, payload)
+    writer.write(data)
+    await writer.drain()
+    return len(data)

@@ -1,0 +1,156 @@
+"""``ccrp-client`` — command-line client for the compression service.
+
+One subcommand per endpoint, speaking the frame protocol through
+:class:`~repro.service.client.ServiceClient`.  Binary payloads come
+from and go to files (``-`` for stdin/stdout), compression metadata
+travels as a JSON sidecar so ``compress`` output can be fed straight
+back to ``decompress``.
+
+Examples::
+
+    ccrp-client unix:/tmp/ccrp.sock ping
+    ccrp-client unix:/tmp/ccrp.sock compress prog.bin \\
+        --out prog.czb --meta prog.json --integrity
+    ccrp-client unix:/tmp/ccrp.sock decompress prog.czb \\
+        --meta prog.json --out prog.out
+    ccrp-client unix:/tmp/ccrp.sock simulate eightq \\
+        --cache-bytes 1024 --memory eprom --clb-entries 16
+    ccrp-client unix:/tmp/ccrp.sock stats
+
+Exits 0 on success, 1 when the server answered with an error response,
+2 on usage or connection problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError, ServiceError
+from repro.service.client import ServiceClient
+
+
+def _read_binary(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    return Path(path).read_bytes()
+
+
+def _write_binary(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+        sys.stdout.buffer.flush()
+    else:
+        Path(path).write_bytes(data)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-client",
+        description="Talk to a running ccrp-serve instance.",
+    )
+    parser.add_argument("address", help="unix:/path/to.sock or host:port")
+    parser.add_argument(
+        "--name", default="cli", help="client name reported in server metrics"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="socket timeout in seconds"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("ping", help="round-trip liveness check")
+    commands.add_parser("stats", help="print the server metrics snapshot")
+
+    compress = commands.add_parser("compress", help="compress a binary file")
+    compress.add_argument("input", help="binary input path, or - for stdin")
+    compress.add_argument("--out", default="-", help="stored-blob output path")
+    compress.add_argument("--meta", default=None, help="metadata JSON path")
+    compress.add_argument(
+        "--alignment", type=int, default=1, help="block alignment (1 or 4)"
+    )
+    compress.add_argument(
+        "--integrity",
+        action="store_true",
+        help="emit the per-line CRC-8 table with the image",
+    )
+
+    decompress = commands.add_parser("decompress", help="expand a stored blob")
+    decompress.add_argument("input", help="stored-blob path, or - for stdin")
+    decompress.add_argument(
+        "--meta", required=True, help="metadata JSON written by compress"
+    )
+    decompress.add_argument("--out", default="-", help="expanded output path")
+
+    simulate = commands.add_parser(
+        "simulate", help="evaluate one design-space grid point server-side"
+    )
+    simulate.add_argument("workload", help="suite workload name (e.g. eightq)")
+    simulate.add_argument("--cache-bytes", type=int, default=1024)
+    simulate.add_argument("--memory", default="eprom")
+    simulate.add_argument("--clb-entries", type=int, default=16)
+    simulate.add_argument("--data-cache-miss-rate", type=float, default=1.0)
+    return parser
+
+
+def _run(client: ServiceClient, args: argparse.Namespace) -> int:
+    if args.command == "ping":
+        print("pong" if client.ping() else "no pong")
+        return 0
+    if args.command == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.command == "compress":
+        meta, blob = client.compress(
+            _read_binary(args.input),
+            alignment=args.alignment,
+            integrity=args.integrity,
+        )
+        _write_binary(args.out, blob)
+        if args.meta:
+            Path(args.meta).write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n"
+            )
+        print(
+            f"compressed {meta['original_size']} -> {len(blob)} bytes "
+            f"(ratio {meta['compression_ratio']:.3f})",
+            file=sys.stderr,
+        )
+        return 0
+    if args.command == "decompress":
+        meta = json.loads(Path(args.meta).read_text())
+        text = client.decompress(meta, _read_binary(args.input))
+        _write_binary(args.out, text)
+        print(f"expanded to {len(text)} bytes", file=sys.stderr)
+        return 0
+    if args.command == "simulate":
+        result = client.simulate(
+            args.workload,
+            cache_bytes=args.cache_bytes,
+            memory=args.memory,
+            clb_entries=args.clb_entries,
+            data_cache_miss_rate=args.data_cache_miss_rate,
+        )
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with ServiceClient(
+            args.address, timeout=args.timeout, name=args.name
+        ) as client:
+            return _run(client, args)
+    except ServiceError as error:
+        print(f"ccrp-client: server error [{error.code}]: {error}", file=sys.stderr)
+        return 1
+    except (ReproError, OSError) as error:
+        print(f"ccrp-client: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

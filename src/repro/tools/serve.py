@@ -1,0 +1,108 @@
+"""``ccrp-serve`` — run the compression service.
+
+Starts the asyncio batch server of :mod:`repro.service` on a Unix
+socket or TCP endpoint and runs until interrupted, draining in-flight
+work on the way down.  Pair it with ``ccrp-client`` or any speaker of
+the frame protocol (``docs/modeling_notes.md`` section 14).
+
+Examples::
+
+    # Unix socket, default worker count
+    ccrp-serve unix:/tmp/ccrp.sock
+
+    # TCP on all interfaces, 4 workers, tighter admission
+    ccrp-serve 0.0.0.0:7878 --workers 4 --queue-limit 32
+
+    # Dump the server's metrics snapshot on shutdown
+    ccrp-serve unix:/tmp/ccrp.sock --metrics metrics.json
+
+Exits 0 on a clean (signal-driven) shutdown, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.errors import ReproError
+from repro.service.server import CompressionServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ccrp-serve",
+        description="Serve compress/decompress/simulate over a socket.",
+    )
+    parser.add_argument(
+        "address",
+        help="unix:/path/to.sock or host:port",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: available CPUs)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max pending jobs before requests get 'overloaded' (default 64)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=8,
+        help="max jobs per worker round trip (default 8)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the final metrics snapshot as JSON on shutdown",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="enable test-only ops (crash, _gate rendezvous) — never in production",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = CompressionServer(
+        args.address,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_max=args.batch_max,
+        debug=args.debug,
+    )
+    await server.start()
+    print(
+        f"ccrp-serve: listening on {args.address} "
+        f"({server.pool.workers} workers, queue limit {server.queue_limit})",
+        flush=True,
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.stop()
+        if args.metrics:
+            server.metrics.write_json(args.metrics)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        with contextlib.suppress(KeyboardInterrupt):
+            asyncio.run(_serve(args))
+    except ReproError as error:
+        print(f"ccrp-serve: error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -319,8 +319,14 @@ class TestMetricsRegistry:
         registry.gauge("g", 4)
         with registry.stage("s"):
             pass
+        registry.observe("o", 1.5)
         registry.reset()
-        assert registry.snapshot() == {"stages": {}, "counters": {}, "gauges": {}}
+        assert registry.snapshot() == {
+            "stages": {},
+            "counters": {},
+            "gauges": {},
+            "observations": {},
+        }
 
     def test_gauges_record_last_value_and_merge_by_max(self):
         registry = MetricsRegistry()
@@ -341,8 +347,105 @@ class TestMetricsRegistry:
         registry.gauge("g", 3)
         path = registry.write_json(tmp_path / "m.json", extra={"jobs": 2})
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "ccrp-metrics/1"
+        assert payload["schema"] == "ccrp-metrics/2"
         assert payload["jobs"] == 2
         assert payload["counters"] == {"c": 9}
         assert payload["gauges"] == {"g": 3}
         assert payload["stages"] == {}
+        assert payload["observations"] == {}
+
+    def test_observations_summarise_percentiles(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):  # 1..100, uniform
+            registry.observe("latency.x", float(value))
+        summary = registry.snapshot()["observations"]["latency.x"]
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == pytest.approx(50.0, abs=1.0)
+        assert summary["p99"] == pytest.approx(99.0, abs=1.0)
+        assert summary["p50"] <= summary["p99"] <= summary["max"]
+
+    def test_observation_window_is_bounded(self):
+        from repro.core.metrics import MAX_SAMPLES
+
+        registry = MetricsRegistry()
+        for value in range(MAX_SAMPLES + 500):
+            registry.observe("o", float(value))
+        summary = registry.snapshot()["observations"]["o"]
+        # Oldest samples aged out: the window keeps the newest ones.
+        assert summary["count"] == MAX_SAMPLES
+        assert summary["min"] == 500.0
+
+    def test_merge_leaves_local_observations_alone(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.observe("o", 1.0)
+        b.observe("o", 99.0)
+        a.merge(b.snapshot())
+        # Percentiles are not combinable from summaries; merge must not
+        # fabricate samples out of the remote summary.
+        assert a.snapshot()["observations"]["o"]["count"] == 1
+
+    def test_snapshot_and_merge_are_safe_under_concurrent_recording(self):
+        """Threaded stress: readers see consistent copies, never racing dicts.
+
+        Writer threads hammer every recording surface (stages, counters,
+        gauges, observations) while reader threads snapshot and merge
+        concurrently.  Before snapshot/merge copied under the lock this
+        raced with ``RuntimeError: dictionary changed size during
+        iteration`` (or silently lost updates); now every error in any
+        thread is collected and the final totals must be exact.
+        """
+        import threading
+
+        registry = MetricsRegistry()
+        sink = MetricsRegistry()
+        start = threading.Barrier(8)
+        errors = []
+        rounds = 400
+
+        def writer(name):
+            try:
+                start.wait()
+                for i in range(rounds):
+                    registry.count(f"count.{name}")
+                    registry.count("count.shared")
+                    registry.gauge(f"gauge.{name}", i)
+                    registry.observe(f"latency.{name}", float(i % 17))
+                    with registry.stage(f"stage.{name}"):
+                        pass
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        def reader():
+            try:
+                start.wait()
+                for _ in range(rounds):
+                    snapshot = registry.snapshot()
+                    # A snapshot is internally consistent JSON material.
+                    assert set(snapshot) == {
+                        "stages",
+                        "counters",
+                        "gauges",
+                        "observations",
+                    }
+                    sink.merge(snapshot)
+            except Exception as error:  # pragma: no cover - the failure mode
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(f"w{i}",)) for i in range(4)
+        ] + [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        assert errors == []
+        final = registry.snapshot()
+        assert final["counters"]["count.shared"] == 4 * rounds
+        for i in range(4):
+            assert final["counters"][f"count.w{i}"] == rounds
+            assert final["observations"][f"latency.w{i}"]["count"] == rounds
+            assert final["stages"][f"stage.w{i}"]["calls"] == rounds

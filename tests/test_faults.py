@@ -175,6 +175,96 @@ class TestExpandingCacheIntegrity:
             ExpandingInstructionCache(image, integrity="strict")
 
 
+class TestBatchedRefillAttribution:
+    """A corrupt blob must fail with *its own* line number, and only there.
+
+    The pristine-store refill path serves lines from the image's one
+    batched ``decode_lines`` pass.  An image rebuilt from corrupted
+    storage (corrupt ``blocks``, original CRC table) used to poison that
+    whole batch: refilling any *healthy* line J raised the corrupt blob
+    K's bare ``CompressionError`` — no line number, wrong line, and the
+    strict policy's ``IntegrityError`` for K never surfaced with its
+    attribution.  Now the batch leaves K's slot empty and the scalar
+    fallback attributes the failure to exactly the line that owns it.
+    """
+
+    def _corrupted_image(self):
+        """An integrity image whose middle compressed block no longer decodes.
+
+        The corrupt bytes replace the block data (same length, so the
+        LAT layout still matches) while ``line_crcs`` keeps the pristine
+        table — corruption-after-attestation, the case integrity exists
+        for.  The mutation is searched deterministically until the
+        scalar decoder provably rejects it.
+        """
+        import dataclasses
+
+        from repro.errors import CompressionError
+
+        # Zero-heavy "program": compresses well under the preselected
+        # code, so the image has real compressed blocks to corrupt.
+        program = (bytes(range(0, 64, 2)) + bytes(32)) * 32
+        image = ProgramCompressor(standard_code(), integrity=True).compress(program)
+        compressed = [
+            index for index, block in enumerate(image.blocks) if block.is_compressed
+        ]
+        assert compressed, "test program must produce compressed blocks"
+        target = compressed[len(compressed) // 2]
+        original = image.blocks[target].data
+        for position in range(len(original)):
+            for mask in (0xFF, 0x80, 0x01):
+                mutated = bytearray(original)
+                mutated[position] ^= mask
+                try:
+                    image.code.decode_fast(bytes(mutated), image.line_size)
+                except CompressionError:
+                    blocks = list(image.blocks)
+                    blocks[target] = dataclasses.replace(
+                        blocks[target], data=bytes(mutated)
+                    )
+                    return dataclasses.replace(image, blocks=tuple(blocks)), target
+        raise AssertionError("no mutation made the block undecodable")
+
+    def test_strict_attributes_the_corrupt_line_only(self):
+        image, target = self._corrupted_image()
+        cache = ExpandingInstructionCache(image, integrity="strict")
+        base = image.text_base
+        for line in range(image.line_count):
+            address = base + line * image.line_size
+            if line == target:
+                with pytest.raises(IntegrityError) as excinfo:
+                    cache.read_line(address)
+                assert excinfo.value.line_number == target
+            else:
+                # Healthy lines refill normally — the corrupt blob no
+                # longer poisons the batch they are served from.
+                assert len(cache.read_line(address)) == image.line_size
+
+    def test_detect_mode_scalar_fallback_names_the_line(self):
+        from repro.errors import CompressionError
+
+        image, target = self._corrupted_image()
+        cache = ExpandingInstructionCache(image, integrity="detect")
+        base = image.text_base
+        for line in range(image.line_count):
+            address = base + line * image.line_size
+            if line == target:
+                # detect records the CRC event and hands the line on to
+                # the decoder, whose failure carries the attribution.
+                with pytest.raises(CompressionError, match=f"line {target}"):
+                    cache.read_line(address)
+            else:
+                cache.read_line(address)
+        assert [event[0] for event in cache.integrity_events] == [target]
+
+    def test_expanded_lines_reports_corrupt_slot_as_none(self):
+        image, target = self._corrupted_image()
+        lines = image.expanded_lines()
+        assert lines[target] is None
+        healthy = [line for index, line in enumerate(lines) if index != target]
+        assert all(line is not None for line in healthy)
+
+
 class TestBlastRadius:
     def test_single_bit_flip_corrupts_exactly_one_line(self):
         """The golden property: one flipped bit, one damaged 32-byte line."""

@@ -90,7 +90,7 @@ class TestRunnerCLI:
         metrics_path = tmp_path / "metrics.json"
         assert main(["dense-isa", "--metrics", str(metrics_path)]) == 0
         payload = json.loads(metrics_path.read_text())
-        assert payload["schema"] == "ccrp-metrics/1"
+        assert payload["schema"] == "ccrp-metrics/2"
         assert payload["jobs"] == 1
         assert "dense-isa" in payload["experiments"]
         assert payload["experiments"]["dense-isa"]["elapsed_seconds"] > 0
