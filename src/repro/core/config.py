@@ -70,6 +70,16 @@ class SystemConfig:
             ``"detect"``, ``"off"``).  Any policy but ``off`` charges the
             per-line CRC table (3.125 %, like the LAT) to the reported
             compression ratio; see :mod:`repro.faults.integrity`.
+        fetch_policy: Front-end refill policy — ``"demand"`` (the
+            paper's machine), ``"nextline"`` (speculatively decompress
+            the fall-through line on every miss), or ``"btb"``
+            (next-line plus a CFG-trained static branch-target buffer).
+            Non-demand policies require the pipeline backend and are
+            mutually exclusive with ``critical_word_first`` (the
+            prefetch buffer holds whole decoded lines); see
+            :mod:`repro.prefetch` and ``docs/modeling_notes.md`` §15.
+        prefetch_depth: Capacity of the prefetch buffer in lines
+            (ignored under the demand policy).
     """
 
     cache_bytes: int = 1024
@@ -82,6 +92,8 @@ class SystemConfig:
     timing: str = field(default_factory=default_timing)
     critical_word_first: bool = False
     integrity: str = "off"
+    fetch_policy: str = "demand"
+    prefetch_depth: int = 4
 
     def __post_init__(self) -> None:
         if self.cache_bytes < self.line_size:
@@ -102,6 +114,21 @@ class SystemConfig:
         from repro.faults.integrity import validate_integrity_policy
 
         validate_integrity_policy(self.integrity)
+        from repro.prefetch import validate_fetch_policy
+
+        validate_fetch_policy(self.fetch_policy)
+        if self.fetch_policy != "demand":
+            if self.timing != "pipeline":
+                raise ConfigurationError(
+                    "prefetching fetch policies need the pipeline timing backend"
+                )
+            if self.critical_word_first:
+                raise ConfigurationError(
+                    "prefetching decodes whole lines; it cannot be combined "
+                    "with critical-word-first refill"
+                )
+        if self.prefetch_depth < 1:
+            raise ConfigurationError("prefetch buffer needs at least one entry")
 
     def with_options(self, **changes) -> "SystemConfig":
         """A copy with the given fields replaced (sweep helper)."""

@@ -39,6 +39,18 @@ class SystemMetrics:
         branch_stall_cycles: Taken-redirect squashed-fetch cycles
             (pipeline backend only; the additive model cannot see them).
         fill_cycles: Pipeline fill/drain cycles (pipeline backend only).
+        fetch_policy: Front-end refill policy that produced the numbers
+            (``"demand"`` unless a prefetcher ran; see
+            :mod:`repro.prefetch`).
+        prefetch_issued / prefetch_useful / prefetch_useless /
+        prefetch_partial: Prefetch outcome counters (all zero under the
+            demand policy).
+        covered_stall_cycles: Demand refill cycles the prefetcher hid —
+            freeze cycles the machine *would* have paid under the demand
+            policy but did not.
+        wasted_traffic_bytes: Instruction-memory bytes fetched by
+            prefetches that never covered a miss (already included in
+            ``instruction_traffic_bytes``).
     """
 
     base_cycles: int
@@ -52,6 +64,13 @@ class SystemMetrics:
     hazard_stall_cycles: int = 0
     branch_stall_cycles: int = 0
     fill_cycles: int = 0
+    fetch_policy: str = "demand"
+    prefetch_issued: int = 0
+    prefetch_useful: int = 0
+    prefetch_useless: int = 0
+    prefetch_partial: int = 0
+    covered_stall_cycles: int = 0
+    wasted_traffic_bytes: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -69,12 +88,34 @@ class SystemMetrics:
 
     @property
     def stall_breakdown(self) -> dict[str, int]:
-        """Stall cycles by cause: hazard vs branch vs fetch vs data."""
+        """Stall cycles by cause: hazard vs branch vs fetch vs data.
+
+        ``covered`` is the fetch-stall share the prefetcher hid — it is
+        *not* part of :attr:`total_stall_cycles` (those cycles were never
+        paid) but is reported beside the paid causes so the breakdown
+        still accounts for the demand machine's fetch bill:
+        ``fetch + covered`` equals the demand-policy fetch cost modulo
+        CLB interference (speculative LAT reads warm or pollute the CLB,
+        shifting the demand-path LAT penalties; with a perfect CLB the
+        identity is exact — see ``docs/modeling_notes.md`` §15).
+        """
         return {
             "hazard": self.hazard_stall_cycles,
             "branch": self.branch_stall_cycles,
             "fetch": self.refill_cycles,
             "data": self.data_cycles,
+            "covered": self.covered_stall_cycles,
+        }
+
+    def prefetch_counters(self) -> dict[str, int]:
+        """The prefetch counter block (all zeros under demand)."""
+        return {
+            "issued": self.prefetch_issued,
+            "useful": self.prefetch_useful,
+            "useless": self.prefetch_useless,
+            "partial": self.prefetch_partial,
+            "covered_stall_cycles": self.covered_stall_cycles,
+            "wasted_traffic_bytes": self.wasted_traffic_bytes,
         }
 
     @property

@@ -32,6 +32,7 @@ from repro.pipeline.frontend import (
 )
 from repro.pipeline.hazards import HazardModel, R2000_HAZARDS
 from repro.pipeline.timeline import BlockTable, replay_trace
+from repro.prefetch import FetchReplay, build_btb, simulate_fetch_stream
 from repro.workloads.suite import Workload, load
 
 
@@ -67,6 +68,7 @@ class ProgramStudy:
         # Everything a trace artifact depends on; image/miss-stream keys
         # extend this with the code and cache geometry respectively.
         self._trace_key = (self.workload.name, text_fp, max_instructions)
+        self._code_fp = code_fp
 
         with METRICS.stage("study.trace"):
             self.execution = cache.get_or_compute(
@@ -92,6 +94,8 @@ class ProgramStudy:
         self._engines: dict[str, RefillEngine] = {}
         self._pipeline_replay: PipelineResult | None = None
         self._miss_addresses: dict[int, np.ndarray] = {}
+        self._prefetch_replays: dict[tuple, "FetchReplay"] = {}
+        self._btb = None
 
     # ------------------------------------------------------------------
     # Cached building blocks
@@ -215,8 +219,77 @@ class ProgramStudy:
                     _replay,
                     *self._trace_key,
                     self.hazards.fingerprint(),
+                    # Event segmentation changed (discontinuity-aware);
+                    # invalidate artifacts from the leader-only version.
+                    "timeline-v2",
                 )
             self._pipeline_replay = replay
+        return replay
+
+    def btb(self):
+        """The workload's static branch-target buffer (built once).
+
+        Trained from the CFG's static transfer edges
+        (:func:`repro.isa.cfg.static_transfer_targets`), so it is a
+        property of the program text alone — every configuration and
+        policy shares it.
+        """
+        if self._btb is None:
+            self._btb = build_btb(
+                self.workload.program.instructions,
+                text_base=self.workload.program.text_base,
+                line_size=self.image.line_size,
+            )
+        return self._btb
+
+    def prefetch_replay(self, config: SystemConfig) -> FetchReplay:
+        """Fetch-path replay of one prefetching configuration (cached).
+
+        Runs the vectorized timeline
+        (:func:`repro.prefetch.simulate_fetch_stream`) over the whole
+        trace — byte-identical to the exact
+        :class:`~repro.prefetch.engine.PrefetchingFetchUnit`, which the
+        prefetch study and property tests pin.  Disk cached on the full
+        machine identity (trace, code, alignment, cache geometry, memory,
+        decoder, CLB size, policy, depth).
+        """
+        model = get_memory_model(config.memory)
+        key = (
+            config.cache_bytes,
+            model.name,
+            config.decoder.bytes_per_cycle,
+            config.decoder.detailed,
+            config.clb_entries,
+            config.fetch_policy,
+            config.prefetch_depth,
+        )
+        replay = self._prefetch_replays.get(key)
+        if replay is None:
+            with METRICS.stage("study.prefetch_replay"):
+                engine = self.refill_engine(config.memory, config.decoder)
+
+                def _replay() -> FetchReplay:
+                    return simulate_fetch_stream(
+                        self.execution.trace.addresses,
+                        config.cache_bytes,
+                        self.image.line_size,
+                        model,
+                        refill=engine,
+                        clb=CLB(entries=config.clb_entries),
+                        policy=config.fetch_policy,
+                        prefetch_depth=config.prefetch_depth,
+                        btb=self.btb() if config.fetch_policy == "btb" else None,
+                    )
+
+                replay = artifacts.get_cache().get_or_compute(
+                    "prefetch-replay",
+                    _replay,
+                    *self._trace_key,
+                    self._code_fp,
+                    self.block_alignment,
+                    *key,
+                )
+            self._prefetch_replays[key] = replay
         return replay
 
     def miss_addresses(self, cache_bytes: int) -> np.ndarray:
@@ -285,6 +358,7 @@ class ProgramStudy:
             }
 
         # --- refill freezes ----------------------------------------------
+        prefetch_fields: dict[str, int | str] = {}
         if config.critical_word_first:
             misses = self.miss_addresses(config.cache_bytes)
             baseline_refill = baseline_critical_word_cycles(model, stats.misses)
@@ -298,6 +372,33 @@ class ProgramStudy:
                 engine.ccrp_miss_cycles(miss_line_indices)
                 + clb_misses * engine.lat_fetch_cycles
             )
+        if config.fetch_policy != "demand":
+            # The prefetcher only exists on the CCRP side — it hides
+            # *decompression* latency; the standard machine's burst refill
+            # has nothing comparable to overlap, so the baseline stays
+            # demand-fetched and the comparison shows the recovered gap.
+            fetch = self.prefetch_replay(config)
+            ccrp_refill = fetch.fetch_stall_cycles
+            clb_misses = fetch.clb_misses
+            prefetch_fields = {
+                "fetch_policy": config.fetch_policy,
+                "prefetch_issued": fetch.issued,
+                "prefetch_useful": fetch.useful,
+                "prefetch_useless": fetch.useless,
+                "prefetch_partial": fetch.partial,
+                "covered_stall_cycles": fetch.covered_stall_cycles,
+                "wasted_traffic_bytes": fetch.wasted_traffic_bytes,
+            }
+            METRICS.count("prefetch.issued", fetch.issued)
+            METRICS.count("prefetch.useful", fetch.useful)
+            METRICS.count("prefetch.useless", fetch.useless)
+            METRICS.count("prefetch.partial", fetch.partial)
+            METRICS.count("prefetch.covered_stall_cycles", fetch.covered_stall_cycles)
+            METRICS.count("frontend.clb_hits", fetch.clb_hits)
+            METRICS.count("frontend.clb_misses", fetch.clb_misses)
+        else:
+            METRICS.count("frontend.clb_hits", stats.misses - clb_misses)
+            METRICS.count("frontend.clb_misses", clb_misses)
 
         # --- standard RISC machine --------------------------------------
         baseline = SystemMetrics(
@@ -311,9 +412,14 @@ class ProgramStudy:
         )
 
         # --- compressed code machine ------------------------------------
-        ccrp_traffic = (
-            engine.ccrp_fetched_bytes(miss_line_indices) + clb_misses * ENTRY_BYTES
-        )
+        if config.fetch_policy != "demand":
+            # The replay's traffic already folds in the LAT-entry reads
+            # (demand and speculative) and wrong-path prefetch bytes.
+            ccrp_traffic = self.prefetch_replay(config).traffic_bytes
+        else:
+            ccrp_traffic = (
+                engine.ccrp_fetched_bytes(miss_line_indices) + clb_misses * ENTRY_BYTES
+            )
         ccrp = SystemMetrics(
             base_cycles=base_cycles,
             refill_cycles=ccrp_refill,
@@ -323,6 +429,7 @@ class ProgramStudy:
             accesses=stats.accesses,
             clb_misses=clb_misses,
             **timing_fields,
+            **prefetch_fields,
         )
 
         # An integrity policy stores one CRC byte per line with the image;

@@ -1,0 +1,407 @@
+"""Prefetching fetch policies: miss-latency hiding vs wasted bandwidth.
+
+The paper's CCRP charges every instruction-cache miss the full
+sequential Huffman decode latency — the price of compression.  The
+prefetching refill engine (:mod:`repro.prefetch`) overlaps speculative
+decodes with execution; this experiment quantifies how much of the
+decompression bill that recovers, and what it costs:
+
+* the main table runs every simulation workload under all three memory
+  models and all three fetch policies (``demand``, ``nextline``,
+  ``btb``), reporting CCRP fetch stalls, the reduction vs demand, the
+  paper's relative-performance metric, and the honest waste counters
+  (useless prefetches, wrong-path traffic bytes);
+* a CLB-size sweep and a prefetch-buffer-depth sweep on one
+  representative workload show how the hiding interacts with the LAT
+  cache and with buffer pressure;
+* every (workload, policy) cell is pinned by an **equivalence check**:
+  the stateful exact front end
+  (:class:`~repro.prefetch.engine.PrefetchingFetchUnit`) replayed
+  access-by-access must be byte-identical — every counter — to the
+  vectorized timeline (:func:`~repro.prefetch.simulate_fetch_stream`)
+  the study tables are built from.
+
+``python -m repro.experiments.prefetch_study --smoke`` is the CI gate:
+bounded prefixes, loop-heavy kernels, and it fails unless the
+prefetching policies strictly reduce fetch stalls and the equivalence
+check has zero diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ccrp.clb import CLB
+from repro.core.artifacts import get_study
+from repro.core.config import SystemConfig
+from repro.experiments.formats import render_table
+from repro.prefetch import (
+    FETCH_POLICIES,
+    FetchReplay,
+    PrefetchingFetchUnit,
+    simulate_fetch_stream,
+)
+from repro.workloads.suite import SIMULATION_PROGRAMS
+
+#: The paper's three instruction-memory implementations.
+MEMORY_NAMES = ("eprom", "burst_eprom", "sc_dram")
+
+#: Workload for the CLB / depth sweeps: large enough that its miss
+#: stream exercises the CLB, sequential enough that prefetching matters.
+SWEEP_PROGRAM = "nasa7"
+
+#: Loop-heavy kernels the smoke gate requires strict improvement on.
+SMOKE_PROGRAMS = ("lloop01", "nasa7")
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """One (program, memory, policy) cell of the main table."""
+
+    program: str
+    memory: str
+    policy: str
+    fetch_stalls: int
+    reduction_pct: float  # vs the demand policy, same program/memory
+    relative_time: float  # T_CCRP / T_standard (the paper's metric)
+    issued: int
+    useful: int
+    useless: int
+    partial: int
+    covered_cycles: int
+    wasted_bytes: int
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One point of the CLB-size or buffer-depth sweep."""
+
+    parameter: int
+    policy: str
+    fetch_stalls: int
+    reduction_pct: float
+
+
+@dataclass(frozen=True)
+class EquivalenceCheck:
+    """Exact unit vs vectorized timeline on one (program, policy)."""
+
+    program: str
+    policy: str
+    accesses: int
+    identical: bool
+
+
+@dataclass(frozen=True)
+class PrefetchStudyResult:
+    rows: tuple[PolicyRow, ...]
+    clb_sweep: tuple[SweepRow, ...]
+    depth_sweep: tuple[SweepRow, ...]
+    equivalence: tuple[EquivalenceCheck, ...]
+    cache_bytes: int
+    sweep_program: str
+
+    @property
+    def equivalence_diffs(self) -> int:
+        return sum(1 for check in self.equivalence if not check.identical)
+
+    @property
+    def best_reduction(self) -> PolicyRow:
+        return max(self.rows, key=lambda row: row.reduction_pct)
+
+    def render(self) -> str:
+        main = render_table(
+            f"Prefetching fetch policies (CCRP machine, "
+            f"{self.cache_bytes} B cache, 16-entry CLB)",
+            (
+                "Program",
+                "Memory",
+                "Policy",
+                "Fetch stalls",
+                "vs demand",
+                "Rel. perf",
+                "Issued",
+                "Useful",
+                "Useless",
+                "Wasted B",
+            ),
+            [
+                (
+                    row.program,
+                    row.memory,
+                    row.policy,
+                    row.fetch_stalls,
+                    f"-{row.reduction_pct:.1f}%" if row.policy != "demand" else "",
+                    row.relative_time,
+                    row.issued,
+                    row.useful,
+                    row.useless,
+                    row.wasted_bytes,
+                )
+                for row in self.rows
+            ],
+        )
+        clb = render_table(
+            f"CLB-size sweep ({self.sweep_program}, sc_dram)",
+            ("CLB entries", "Policy", "Fetch stalls", "vs demand"),
+            [
+                (row.parameter, row.policy, row.fetch_stalls, f"-{row.reduction_pct:.1f}%")
+                for row in self.clb_sweep
+            ],
+        )
+        depth = render_table(
+            f"Prefetch-buffer depth sweep ({self.sweep_program}, sc_dram)",
+            ("Depth", "Policy", "Fetch stalls", "vs demand"),
+            [
+                (row.parameter, row.policy, row.fetch_stalls, f"-{row.reduction_pct:.1f}%")
+                for row in self.depth_sweep
+            ],
+        )
+        best = self.best_reduction
+        checked = len(self.equivalence)
+        verdict = (
+            f"all {checked} identical"
+            if self.equivalence_diffs == 0
+            else f"{self.equivalence_diffs} of {checked} DIFFER"
+        )
+        return (
+            main
+            + "\n\n"
+            + clb
+            + "\n\n"
+            + depth
+            + "\n\nBest stall reduction: "
+            f"{best.program} @ {best.memory}/{best.policy} "
+            f"(-{best.reduction_pct:.1f}%, {best.covered_cycles:,} cycles hidden)."
+            f"\nExact-vs-timeline equivalence: {verdict}."
+        )
+
+
+def _policy_config(
+    cache_bytes: int, memory: str, policy: str, **overrides
+) -> SystemConfig:
+    return SystemConfig(
+        cache_bytes=cache_bytes,
+        memory=memory,
+        timing="pipeline",
+        fetch_policy=policy,
+        **overrides,
+    )
+
+
+def _exact_replay(
+    study, memory: str, cache_bytes: int, policy: str, addresses: np.ndarray
+) -> FetchReplay:
+    """Drive the stateful exact unit over ``addresses`` (golden path)."""
+    config = SystemConfig()  # default decoder/CLB geometry
+    unit = PrefetchingFetchUnit(
+        cache_bytes,
+        memory,
+        line_size=study.image.line_size,
+        refill=study.refill_engine(memory, config.decoder),
+        clb=CLB(entries=config.clb_entries),
+        policy=policy,
+        btb=study.btb() if policy == "btb" else None,
+    )
+    stalls = 0
+    for address in addresses.tolist():
+        stalls += unit.fetch(address)
+    return FetchReplay.from_unit(unit, stalls)
+
+
+def _timeline_replay(
+    study, memory: str, cache_bytes: int, policy: str, addresses: np.ndarray
+) -> FetchReplay:
+    config = SystemConfig()
+    return simulate_fetch_stream(
+        addresses,
+        cache_bytes,
+        study.image.line_size,
+        memory,
+        refill=study.refill_engine(memory, config.decoder),
+        clb=CLB(entries=config.clb_entries),
+        policy=policy,
+        btb=study.btb() if policy == "btb" else None,
+    )
+
+
+def run_prefetch_study(
+    programs: tuple[str, ...] = SIMULATION_PROGRAMS,
+    cache_bytes: int = 1024,
+    equivalence_prefix: int | None = None,
+    clb_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    depths: tuple[int, ...] = (1, 2, 4, 8),
+    sweep_program: str = SWEEP_PROGRAM,
+) -> PrefetchStudyResult:
+    """The full study: policy table, sweeps, and the equivalence gate.
+
+    ``equivalence_prefix`` bounds the exact replay used by the
+    byte-identity check (``None`` replays every workload's full address
+    stream — the acceptance setting; the smoke gate passes a prefix).
+    """
+    rows = []
+    for program in programs:
+        study = get_study(program)
+        for memory in MEMORY_NAMES:
+            demand_stalls = None
+            for policy in FETCH_POLICIES:
+                report = study.metrics(
+                    _policy_config(cache_bytes, memory, policy)
+                )
+                stalls = report.ccrp.refill_cycles
+                if policy == "demand":
+                    demand_stalls = stalls
+                    reduction = 0.0
+                else:
+                    reduction = (
+                        100.0 * (1.0 - stalls / demand_stalls)
+                        if demand_stalls
+                        else 0.0
+                    )
+                rows.append(
+                    PolicyRow(
+                        program=program,
+                        memory=memory,
+                        policy=policy,
+                        fetch_stalls=stalls,
+                        reduction_pct=reduction,
+                        relative_time=report.relative_execution_time,
+                        issued=report.ccrp.prefetch_issued,
+                        useful=report.ccrp.prefetch_useful,
+                        useless=report.ccrp.prefetch_useless,
+                        partial=report.ccrp.prefetch_partial,
+                        covered_cycles=report.ccrp.covered_stall_cycles,
+                        wasted_bytes=report.ccrp.wasted_traffic_bytes,
+                    )
+                )
+
+    sweep_study = get_study(sweep_program)
+    clb_sweep = []
+    for entries in clb_sizes:
+        demand = sweep_study.metrics(
+            _policy_config(cache_bytes, "sc_dram", "demand", clb_entries=entries)
+        ).ccrp.refill_cycles
+        for policy in ("nextline", "btb"):
+            stalls = sweep_study.metrics(
+                _policy_config(cache_bytes, "sc_dram", policy, clb_entries=entries)
+            ).ccrp.refill_cycles
+            clb_sweep.append(
+                SweepRow(
+                    parameter=entries,
+                    policy=policy,
+                    fetch_stalls=stalls,
+                    reduction_pct=100.0 * (1.0 - stalls / demand) if demand else 0.0,
+                )
+            )
+    depth_sweep = []
+    demand = sweep_study.metrics(
+        _policy_config(cache_bytes, "sc_dram", "demand")
+    ).ccrp.refill_cycles
+    for depth in depths:
+        for policy in ("nextline", "btb"):
+            stalls = sweep_study.metrics(
+                _policy_config(cache_bytes, "sc_dram", policy, prefetch_depth=depth)
+            ).ccrp.refill_cycles
+            depth_sweep.append(
+                SweepRow(
+                    parameter=depth,
+                    policy=policy,
+                    fetch_stalls=stalls,
+                    reduction_pct=100.0 * (1.0 - stalls / demand) if demand else 0.0,
+                )
+            )
+
+    equivalence = []
+    for program in programs:
+        study = get_study(program)
+        addresses = study.execution.trace.addresses
+        if equivalence_prefix is not None:
+            addresses = addresses[:equivalence_prefix]
+        for policy in FETCH_POLICIES:
+            exact = _exact_replay(study, "sc_dram", cache_bytes, policy, addresses)
+            timeline = _timeline_replay(
+                study, "sc_dram", cache_bytes, policy, addresses
+            )
+            equivalence.append(
+                EquivalenceCheck(
+                    program=program,
+                    policy=policy,
+                    accesses=len(addresses),
+                    identical=exact == timeline,
+                )
+            )
+
+    return PrefetchStudyResult(
+        rows=tuple(rows),
+        clb_sweep=tuple(clb_sweep),
+        depth_sweep=tuple(depth_sweep),
+        equivalence=tuple(equivalence),
+        cache_bytes=cache_bytes,
+        sweep_program=sweep_program,
+    )
+
+
+def run_smoke(prefix: int = 150_000) -> PrefetchStudyResult:
+    """CI gate: bounded prefixes, loop-heavy kernels, strict assertions.
+
+    Fails (``SystemExit``) unless every prefetching policy strictly
+    reduces fetch stalls on every smoke cell with a nonzero demand bill,
+    and the exact-vs-timeline equivalence check has zero diffs.
+    """
+    result = run_prefetch_study(
+        programs=SMOKE_PROGRAMS,
+        cache_bytes=256,
+        equivalence_prefix=prefix,
+        clb_sizes=(4, 16),
+        depths=(2, 4),
+    )
+    if result.equivalence_diffs:
+        raise SystemExit(
+            f"prefetch smoke: {result.equivalence_diffs} exact-vs-timeline "
+            f"equivalence diffs (must be zero)"
+        )
+    demand = {
+        (row.program, row.memory): row.fetch_stalls
+        for row in result.rows
+        if row.policy == "demand"
+    }
+    for row in result.rows:
+        if row.policy == "demand":
+            continue
+        baseline = demand[(row.program, row.memory)]
+        if baseline and row.fetch_stalls >= baseline:
+            raise SystemExit(
+                f"prefetch smoke: {row.policy} did not reduce fetch stalls on "
+                f"{row.program}@{row.memory} ({row.fetch_stalls} >= {baseline})"
+            )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast CI gate: loop-heavy kernels, bounded prefixes, strict "
+        "reduction and zero-diff equivalence assertions",
+    )
+    parser.add_argument(
+        "--prefix",
+        type=int,
+        default=150_000,
+        help="equivalence-check prefix length for --smoke (default: 150000)",
+    )
+    args = parser.parse_args(argv)
+    result = run_smoke(args.prefix) if args.smoke else run_prefetch_study()
+    print(result.render())
+    if args.smoke:
+        print("\n[prefetch smoke passed: strict reductions, zero equivalence diffs]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -37,6 +37,7 @@ def _registry() -> dict[str, Callable[[], object]]:
     from repro.experiments.figure5 import run_figure5
     from repro.experiments.figure9 import run_figure9
     from repro.experiments.pipeline_validation import run_pipeline_validation
+    from repro.experiments.prefetch_study import run_prefetch_study
     from repro.experiments.tables1_8 import run_tables1_8
     from repro.experiments.tables9_10 import run_tables9_10
     from repro.experiments.tables11_13 import run_tables11_13
@@ -54,6 +55,7 @@ def _registry() -> dict[str, Callable[[], object]]:
         "cross-isa": run_cross_isa,
         "pipeline-validation": run_pipeline_validation,
         "fault-study": run_fault_study,
+        "prefetch-study": run_prefetch_study,
     }
 
 

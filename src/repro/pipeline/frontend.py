@@ -182,3 +182,28 @@ class FetchUnit:
         self.accesses = 0
         self.misses = 0
         self.clb_penalty_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Counter surface (no private attribute poking required)
+    # ------------------------------------------------------------------
+
+    @property
+    def clb_hits(self) -> int:
+        """CLB hits so far (0 without a CLB)."""
+        return self.clb.hits if self.clb is not None else 0
+
+    @property
+    def clb_misses(self) -> int:
+        """CLB misses so far (0 without a CLB)."""
+        return self.clb.misses if self.clb is not None else 0
+
+    def counters(self) -> dict[str, int]:
+        """The front end's counter block, for ``--metrics`` reports and
+        the service ``stats`` op (prefetching subclasses extend it)."""
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "clb_hits": self.clb_hits,
+            "clb_misses": self.clb_misses,
+            "clb_penalty_cycles": self.clb_penalty_cycles,
+        }

@@ -136,8 +136,16 @@ def replay_trace(
     branch_stalls = discontinuities * table.hazards.taken_branch_penalty
 
     # Hazard stalls: block events -> execution counts -> dot product.
+    # An event ends at the next block leader *or* the next dynamic
+    # discontinuity: a redirect that re-enters the current block (e.g. a
+    # one-instruction self-loop) must start a new event, otherwise the
+    # stream is misread as one straight-line pass over the whole block
+    # and charged interlocks between instructions that never issued
+    # back-to-back (the ``[addu; lw; addu]`` / ``[0, 1, 1]`` case in
+    # ``docs/modeling_notes.md`` §15).
     mask = table.is_leader[indices].copy()
     mask[0] = True
+    mask[1:] |= indices[1:] != indices[:-1] + 1
     event_positions = np.nonzero(mask)[0]
     entry_words = indices[event_positions]
     block_ids = table.block_of_word(entry_words)
@@ -147,22 +155,16 @@ def replay_trace(
     )
     counts = np.bincount(block_ids[full], minlength=len(table.starts))
     hazard_stalls = int(counts @ table.stall_cycles)
-    penalty = table.hazards.taken_branch_penalty
     for position in np.nonzero(~full)[0].tolist():
-        # Partial or mid-block-entry events (the capped tail of a trace)
-        # are rare; replay just those through the scoreboard, with the
-        # exact replay's redirect bubbles at internal discontinuities
-        # (already counted in branch_stalls — here they only let the
-        # scoreboard absorb latency the way the real pipeline does).
+        # Partial or mid-block-entry events (redirects into the middle of
+        # a block, the capped tail of a trace) are rare; replay just
+        # those through the scoreboard.  Events are contiguous by
+        # construction now, so the segment is a plain static range.
         start = int(event_positions[position])
         segment = indices[start : start + int(event_lengths[position])].tolist()
         scoreboard = Scoreboard(table._timing)
-        previous = None
         for index in segment:
-            if previous is not None and index != previous + 1:
-                scoreboard.bubble(penalty)
             hazard_stalls += scoreboard.issue(index)
-            previous = index
 
     return PipelineResult(
         issue_cycles=len(indices),

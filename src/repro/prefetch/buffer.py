@@ -1,0 +1,72 @@
+"""The bounded prefetch buffer.
+
+Prefetched lines live *beside* the instruction cache, not in it — the
+classic stream-buffer arrangement.  A demand miss that finds its line
+here still counts as a cache miss (the cache genuinely missed) and then
+fills the cache exactly as a demand refill would, so the cache's
+resident-set evolution — and therefore the miss stream itself — is
+byte-identical to the plain demand policy.  Only the *cost* of each miss
+changes.  That invariant is what lets the vectorized timeline reuse the
+demand miss stream and is asserted by the property tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PrefetchEntry:
+    """One speculative refill in flight (or complete, awaiting use).
+
+    Attributes:
+        line: Global cache-line number being decompressed.
+        issue_time: Shadow-clock cycle the prefetch was issued.
+        finish_time: Shadow-clock cycle its last byte is decoded
+            (``issue_time`` + any decoder queueing + the full refill).
+    """
+
+    line: int
+    issue_time: int
+    finish_time: int
+
+
+class PrefetchBuffer:
+    """FIFO buffer of at most ``depth`` speculative refills.
+
+    Inserting into a full buffer evicts the oldest entry (returned so
+    the engine can count it as a useless prefetch); a demand hit pops
+    its entry.  Lookups are by global line number.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ConfigurationError(
+                f"prefetch buffer needs at least one entry, got {depth}"
+            )
+        self.depth = depth
+        self._entries: OrderedDict[int, PrefetchEntry] = OrderedDict()
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def pop(self, line: int) -> PrefetchEntry | None:
+        """Remove and return the entry for ``line`` (None if absent)."""
+        return self._entries.pop(line, None)
+
+    def insert(self, entry: PrefetchEntry) -> PrefetchEntry | None:
+        """Add ``entry``; returns the evicted oldest entry if full."""
+        evicted = None
+        if len(self._entries) >= self.depth:
+            _, evicted = self._entries.popitem(last=False)
+        self._entries[entry.line] = entry
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()

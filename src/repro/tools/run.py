@@ -13,21 +13,52 @@ from repro.machine.executor import Machine
 from repro.machine.profile import profile
 
 
-def _pipeline_report(program, result, memory_name: str, cache_bytes: int) -> dict:
+def _pipeline_report(
+    program,
+    result,
+    memory_name: str,
+    cache_bytes: int,
+    fetch_policy: str = "demand",
+    prefetch_depth: int = 4,
+) -> dict:
     """Cycle totals of the standard machine under the pipeline backend.
 
     The fetch path is the baseline one (no compression): misses of a
     direct-mapped cache each freeze the pipeline for one full-line burst
-    of the chosen memory model.
+    of the chosen memory model.  A prefetching policy overlaps part of
+    those bursts with execution (see :mod:`repro.prefetch`); the report
+    then carries the prefetch counter block too.
     """
     from repro.cache.direct_mapped import simulate_trace
     from repro.memsys.models import get_memory_model
     from repro.pipeline.timeline import BlockTable, replay_trace
+    from repro.prefetch import build_btb, simulate_fetch_stream
 
     memory = get_memory_model(memory_name)
     line_size = 32
     stats = simulate_trace(result.trace.addresses, cache_bytes, line_size)
-    fetch_stalls = stats.misses * memory.bytes_read_cycles(line_size)
+    prefetch = None
+    if fetch_policy == "demand":
+        fetch_stalls = stats.misses * memory.bytes_read_cycles(line_size)
+    else:
+        text_lines = (len(program.text) + line_size - 1) // line_size
+        prefetch = simulate_fetch_stream(
+            result.trace.addresses,
+            cache_bytes,
+            line_size,
+            memory,
+            policy=fetch_policy,
+            prefetch_depth=prefetch_depth,
+            btb=build_btb(
+                program.instructions,
+                text_base=program.text_base,
+                line_size=line_size,
+            )
+            if fetch_policy == "btb"
+            else None,
+            prefetch_bounds=(program.text_base // line_size, text_lines),
+        )
+        fetch_stalls = prefetch.fetch_stall_cycles
     table = BlockTable(program.instructions, text_base=program.text_base)
     replay = replay_trace(
         result.trace,
@@ -40,6 +71,9 @@ def _pipeline_report(program, result, memory_name: str, cache_bytes: int) -> dic
     report["memory"] = memory.name
     report["cache_bytes"] = cache_bytes
     report["misses"] = stats.misses
+    report["fetch_policy"] = fetch_policy
+    if prefetch is not None:
+        report["prefetch"] = prefetch.prefetch_counters()
     return report
 
 
@@ -78,6 +112,18 @@ def main(argv: list[str] | None = None) -> int:
         help="instruction-cache size for --timing pipeline (default: 1024)",
     )
     parser.add_argument(
+        "--fetch-policy",
+        default="demand",
+        metavar="{demand,nextline,btb}",
+        help="front-end refill policy for --timing pipeline (default: demand)",
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=4,
+        help="prefetch-buffer capacity in lines (default: 4)",
+    )
+    parser.add_argument(
         "--metrics",
         type=Path,
         metavar="FILE",
@@ -91,9 +137,20 @@ def main(argv: list[str] | None = None) -> int:
         # not an exception spill halfway through a long execution.
         from repro.core.config import validate_timing
         from repro.memsys.models import get_memory_model
+        from repro.prefetch import validate_fetch_policy
 
         validate_timing(args.timing)
         get_memory_model(args.memory)
+        validate_fetch_policy(args.fetch_policy)
+        if args.fetch_policy != "demand" and args.timing != "pipeline":
+            raise ConfigurationError(
+                "--fetch-policy needs --timing pipeline (prefetching is a "
+                "pipeline front-end model)"
+            )
+        if args.prefetch_depth < 1:
+            raise ConfigurationError(
+                f"--prefetch-depth needs at least one entry, got {args.prefetch_depth}"
+            )
         if args.cache_bytes < 32:
             raise ConfigurationError(
                 f"--cache-bytes must hold at least one 32 B line, got {args.cache_bytes}"
@@ -112,7 +169,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         report = None
         if args.timing == "pipeline":
-            report = _pipeline_report(program, result, args.memory, args.cache_bytes)
+            report = _pipeline_report(
+                program,
+                result,
+                args.memory,
+                args.cache_bytes,
+                fetch_policy=args.fetch_policy,
+                prefetch_depth=args.prefetch_depth,
+            )
     except (OSError, ReproError) as error:
         print(f"ccrp-run: {error}", file=sys.stderr)
         return 1
@@ -131,6 +195,15 @@ def main(argv: list[str] | None = None) -> int:
             f"+ {report['branch']:,} branch + {report['fetch']:,} fetch "
             f"({report['misses']:,} misses)]"
         )
+        if "prefetch" in report:
+            counters = report["prefetch"]
+            print(
+                f"[prefetch {report['fetch_policy']}: {counters['issued']:,} issued, "
+                f"{counters['useful']:,} useful ({counters['partial']:,} partial), "
+                f"{counters['useless']:,} useless, "
+                f"{counters['covered_stall_cycles']:,} stall cycles hidden, "
+                f"{counters['wasted_traffic_bytes']:,} B wasted traffic]"
+            )
     if args.metrics:
         payload = {
             "timing": args.timing,

@@ -277,6 +277,31 @@ def test_real_workload_exact_bounds_timeline():
     assert exact.hazard_stall_cycles >= timeline.hazard_stall_cycles
 
 
+def test_redirect_into_current_block_matches_exact():
+    """Regression: a redirect that re-enters the current block must split
+    the timeline's event, not extend it.
+
+    Program ``[addu; lw; addu]`` with stream ``[0, 1, 1]``: the load's
+    consumer never issues, so the exact replay charges no load-use
+    bubble.  The leader-only segmentation misread the stream as one full
+    straight-line pass and charged one — breaking the documented
+    timeline-is-a-lower-bound contract (``docs/modeling_notes.md`` §15).
+    """
+    program = Assembler().assemble(
+        "main:\n    addu $1, $2, $3\n    lw $4, 0($5)\n    addu $6, $4, $7\n"
+    )
+    stream = np.array([0, 1, 1], dtype=np.int64)
+    exact = simulate_pipeline(program.instructions, stream)
+    timeline = replay_trace(stream, program.instructions)
+    assert exact.hazard_stall_cycles == timeline.hazard_stall_cycles == 0
+    assert exact.branch_stall_cycles == timeline.branch_stall_cycles == 1
+    # The genuine load-use pass still charges its bubble on both paths.
+    full = np.array([0, 1, 2], dtype=np.int64)
+    exact_full = simulate_pipeline(program.instructions, full)
+    timeline_full = replay_trace(full, program.instructions)
+    assert exact_full.hazard_stall_cycles == timeline_full.hazard_stall_cycles == 1
+
+
 def test_out_of_range_stream_rejected(golden):
     program, _ = golden
     with pytest.raises(ConfigurationError):
@@ -415,8 +440,9 @@ def test_study_pipeline_backend_reports_breakdown():
     pipeline = study.metrics(SystemConfig(timing="pipeline"))
     assert pipeline.ccrp.timing == "pipeline"
     breakdown = pipeline.ccrp.stall_breakdown
-    assert set(breakdown) == {"hazard", "branch", "fetch", "data"}
+    assert set(breakdown) == {"hazard", "branch", "fetch", "data", "covered"}
     assert breakdown["hazard"] == 0  # hazard-free by construction
+    assert breakdown["covered"] == 0  # demand policy hides nothing
     divergence = pipeline.ccrp.total_cycles - additive.ccrp.total_cycles
     assert abs(divergence) <= PIPELINE_FILL_CYCLES
 
