@@ -59,14 +59,23 @@ from repro.core.sweep import available_cpus
 from repro.errors import ProtocolError, ServiceError
 from repro.service.server import CompressionServer
 
-SCHEMA = "ccrp-bench-service/1"
+SCHEMA = "ccrp-bench-service/2"
 
 #: Deterministic pseudo-program used for the golden check and the load
 #: phase: structured enough to compress, sized like a small text segment.
 PROGRAM = (bytes(range(0, 256, 2)) + bytes(64)) * 24  # 4608 bytes
 
-#: The duplicate-request burst (coalescing probe).
-BURST_PARAMS = {"workload": "eightq", "cache_bytes": 512, "clb_entries": 8}
+#: The duplicate-request burst (coalescing probe).  The params are
+#: salted per process so the burst always exercises the *in-flight*
+#: single-flight table: a warm durable response cache (same
+#: ``CCRP_CACHE_DIR`` as a previous run) would otherwise answer every
+#: duplicate from disk and the coalescing gate would measure nothing.
+BURST_PARAMS = {
+    "workload": "eightq",
+    "cache_bytes": 512,
+    "clb_entries": 8,
+    "data_cache_miss_rate": round(0.9 + (os.getpid() % 997) / 1e5, 8),
+}
 
 #: Throughput target claimed by full runs on unconstrained machines.
 TARGET_RPS = 100.0
@@ -166,8 +175,13 @@ def run_burst(address: str, size: int) -> dict:
     }
 
 
-def run_load(address: str, clients: int, requests: int) -> dict:
-    """Concurrent compress/decompress round trips with client-side timing."""
+def run_load(address: str, clients: int, requests: int, resilience: dict) -> dict:
+    """Concurrent compress/decompress round trips with client-side timing.
+
+    Load clients run with the record's resilience configuration
+    (retries, seeded backoff, optional deadline), so the measured
+    throughput is the throughput of the *resilient* request path.
+    """
     latencies_ms: list[float] = []
     errors: list[str] = []
     lock = threading.Lock()
@@ -176,7 +190,15 @@ def run_load(address: str, clients: int, requests: int) -> dict:
     def worker(index: int) -> None:
         local: list[float] = []
         try:
-            with ServiceClient(address, name=f"load{index}") as client:
+            with ServiceClient(
+                address,
+                name=f"load{index}",
+                retries=resilience["retries"],
+                backoff_base=resilience["backoff_base"],
+                backoff_max=resilience["backoff_max"],
+                backoff_seed=resilience["backoff_seed"] + index,
+                deadline_ms=resilience["deadline_ms"],
+            ) as client:
                 meta, blob = client.compress(PROGRAM)
                 barrier.wait()
                 for i in range(requests):
@@ -221,7 +243,13 @@ def run_load(address: str, clients: int, requests: int) -> dict:
 
 
 def run_benchmark(
-    address: str, workers: int, burst: int, clients: int, requests: int, smoke: bool
+    address: str,
+    workers: int,
+    burst: int,
+    clients: int,
+    requests: int,
+    smoke: bool,
+    resilience: dict,
 ) -> dict:
     cpus = available_cpus()
     record: dict = {
@@ -230,9 +258,10 @@ def run_benchmark(
         "cpu_count": os.cpu_count(),
         "cpu_affinity": cpus,
         "workers": workers,
+        "resilience": dict(resilience),
         "golden": check_golden(address),
         "burst": run_burst(address, burst),
-        "load": run_load(address, clients, requests),
+        "load": run_load(address, clients, requests, resilience),
     }
     with ServiceClient(address, name="final-stats") as client:
         stats = client.stats()
@@ -245,6 +274,16 @@ def run_benchmark(
         "latency_ms": stats["observations"],
     }
     record["protocol_errors"] = stats["counters"].get("service.protocol_errors", 0)
+    record["resilience"]["response_cache"] = stats["server"]["response_cache"]
+    record["resilience"]["cache"] = {
+        "hits": stats["counters"].get("service.cache.hit", 0),
+        "misses": stats["counters"].get("service.cache.miss", 0),
+        "stores": stats["counters"].get("service.cache.store", 0),
+    }
+    record["resilience"]["deadline_exceeded"] = stats["counters"].get(
+        "service.deadline_exceeded", 0
+    )
+    record["resilience"]["too_large"] = stats["counters"].get("service.too_large", 0)
     record["target_rps"] = TARGET_RPS
     if smoke or cpus < 2:
         record["target_skipped"] = True
@@ -289,6 +328,24 @@ def main(argv: list[str] | None = None) -> int:
         "--requests", type=int, default=50, help="load-phase requests per client"
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retry budget for the load-phase clients (default 1)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline budget for the load-phase clients",
+    )
+    parser.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=1234,
+        help="base seed for the load clients' deterministic retry jitter",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
         help="CI mode: small load, throughput target skipped with a recorded reason",
@@ -313,16 +370,23 @@ def main(argv: list[str] | None = None) -> int:
             # that the duplicates provably arrive in-flight.
             os.environ["CCRP_CACHE_DIR"] = os.path.join(scratch, "cache")
         try:
+            resilience = {
+                "retries": args.retries,
+                "backoff_base": 0.05,
+                "backoff_max": 2.0,
+                "backoff_seed": args.backoff_seed,
+                "deadline_ms": args.deadline_ms,
+            }
             if args.address is not None:
                 record = run_benchmark(
                     args.address, args.workers, args.burst, args.clients,
-                    args.requests, args.smoke,
+                    args.requests, args.smoke, resilience,
                 )
             else:
                 with InProcessServer(scratch, args.workers) as server:
                     record = run_benchmark(
                         server.address, args.workers, args.burst, args.clients,
-                        args.requests, args.smoke,
+                        args.requests, args.smoke, resilience,
                     )
         except AssertionError as error:
             print(f"ERROR: {error}", file=sys.stderr)

@@ -38,6 +38,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
@@ -252,6 +253,74 @@ _CACHE = ArtifactCache()
 def get_cache() -> ArtifactCache:
     """The process-wide artifact cache."""
     return _CACHE
+
+
+# ----------------------------------------------------------------------
+# The durable service response cache
+# ----------------------------------------------------------------------
+
+#: Artifact kind holding completed service responses.
+SERVICE_RESPONSE_KIND = "service-response"
+
+
+class ResponseCache:
+    """Durable store for completed service responses.
+
+    The compression service keys entries identically to its in-flight
+    coalescing key — ``(op, canonical-JSON params, SHA-256(payload))``
+    — so a restarted server answers a repeat request byte-identically
+    from disk instead of recomputing it.  Each entry carries a CRC-32
+    digest of its binary payload, recomputed on every load: an entry
+    whose stored bytes no longer match the digest (torn write, disk
+    corruption) is evicted and treated as a miss, never served.
+
+    Entries live in the shared :class:`ArtifactCache` (so
+    ``CCRP_CACHE_DIR`` / ``CCRP_NO_CACHE`` govern them like every other
+    artifact) under the :data:`SERVICE_RESPONSE_KIND` kind.
+    """
+
+    def __init__(self, cache: ArtifactCache | None = None) -> None:
+        self._cache = cache if cache is not None else get_cache()
+
+    def get(self, key_parts: tuple) -> tuple[dict, bytes, int] | None:
+        """``(result, payload, crc32)`` for the key, or ``None``.
+
+        Verifies the stored payload against its recorded CRC-32 before
+        returning; a mismatch evicts the entry (``artifacts.evict``)
+        and reports a miss so the job is recomputed rather than served
+        corrupt.
+        """
+        found, entry = self._cache.load(SERVICE_RESPONSE_KIND, *key_parts)
+        if not found:
+            return None
+        try:
+            result = entry["result"]
+            payload = entry["payload"]
+            crc = entry["crc32"]
+        except (TypeError, KeyError):
+            METRICS.count("artifacts.evict")
+            self._evict(key_parts)
+            return None
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            METRICS.count("artifacts.evict")
+            self._evict(key_parts)
+            return None
+        return result, payload, crc
+
+    def put(self, key_parts: tuple, result: dict, payload: bytes) -> int:
+        """Persist one completed response; returns its CRC-32 digest."""
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        self._cache.store(
+            SERVICE_RESPONSE_KIND,
+            {"result": result, "payload": bytes(payload), "crc32": crc},
+            *key_parts,
+        )
+        return crc
+
+    def _evict(self, key_parts: tuple) -> None:
+        self._cache.path_for(SERVICE_RESPONSE_KIND, *key_parts).unlink(
+            missing_ok=True
+        )
 
 
 # ----------------------------------------------------------------------

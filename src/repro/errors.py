@@ -51,28 +51,45 @@ class ProtocolError(ReproError):
     Raised by :mod:`repro.service.protocol` for a bad magic number or
     version, a length field past the frame limits, a connection closed
     mid-frame, or an unparsable JSON header.  Protocol errors are never
-    retried: the peer's byte stream can no longer be trusted, so the
-    connection is closed.
+    retried *on the same connection*: the peer's byte stream can no
+    longer be trusted, so the connection is closed.  A resilient client
+    may reconnect and re-send an idempotent request on a fresh stream
+    (:class:`~repro.service.client.ServiceClient` with ``retries > 0``
+    does exactly that).
     """
 
 
 class ServiceError(ReproError):
-    """An error response from the compression service.
+    """An error response from (or a failed exchange with) the service.
 
     Attributes:
-        code: Machine-readable error code from the response (e.g.
-            ``"overloaded"``, ``"bad_request"``, ``"worker_crash"``,
-            ``"shutting_down"``, ``"job_failed"``).
+        code: Machine-readable error code (e.g. ``"overloaded"``,
+            ``"bad_request"``, ``"worker_crash"``, ``"shutting_down"``,
+            ``"job_failed"``, ``"deadline_exceeded"``, ``"too_large"``,
+            ``"timeout"``, ``"unavailable"``, ``"connection_lost"``).
         failure: The serialised :class:`~repro.core.sweep.FailureReport`
             dict attached to job failures, when the server captured one.
+        op: The request op the client was attempting, when known (set by
+            the client's retry layer when it wraps transport errors).
+        address: The service address string the client was talking to.
+        attempts: How many attempts the client made before giving up.
     """
 
     def __init__(
-        self, message: str, code: str = "internal", failure: dict | None = None
+        self,
+        message: str,
+        code: str = "internal",
+        failure: dict | None = None,
+        op: str | None = None,
+        address: str | None = None,
+        attempts: int | None = None,
     ) -> None:
         super().__init__(message)
         self.code = code
         self.failure = failure
+        self.op = op
+        self.address = address
+        self.attempts = attempts
 
 
 class IntegrityError(ReproError):

@@ -1,0 +1,313 @@
+"""A seed-deterministic chaos proxy for the compression service.
+
+:class:`ChaosProxy` sits between a :class:`~repro.service.client.ServiceClient`
+and a :class:`~repro.service.server.CompressionServer`, relaying the
+frame protocol *frame by frame* so faults land at exact, replayable
+points in the byte stream:
+
+* ``delay`` — hold a frame for a fixed interval before forwarding
+  (injected latency, never used as synchronisation);
+* ``truncate`` — forward only the first ``keep_bytes`` bytes of a
+  frame, then abort the connection: the receiver sees a torn frame
+  mid-body, the canonical "peer died mid-write" failure;
+* ``reset`` — drop the frame entirely and abort the connection;
+* ``kill_worker`` — before forwarding a request frame, crash one
+  worker process through the server's debug ``crash`` op and *wait for
+  the crash to be acknowledged*, so the victim request deterministically
+  lands on a freshly restarted pool.
+
+What to do to which frame is a :class:`ChaosSchedule` decision keyed by
+``(connection, direction, frame_index)`` — pure data, no ambient
+randomness.  :class:`ScriptedSchedule` places faults by hand;
+:class:`SeededSchedule` derives every decision from a stateless
+``random.Random(f"{seed}:{conn}:{direction}:{frame}")`` so the schedule
+is a function of the key alone: concurrent relay tasks cannot perturb
+it, and two runs with the same seed inject byte-identical fault
+sequences.  Every decision is appended to :attr:`ChaosProxy.events`;
+:meth:`ChaosProxy.transcript` is the canonical comparison form for
+two-run determinism assertions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.service import protocol
+from repro.service.protocol import HEADER_STRUCT, encode_frame
+
+#: Relay directions: client→server and server→client.
+UP, DOWN = "up", "down"
+
+#: Fault kinds a schedule may return.
+KINDS = ("pass", "delay", "truncate", "reset", "kill_worker")
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """What to do to one relayed frame.
+
+    Attributes:
+        kind: One of :data:`KINDS`.
+        delay: Seconds to hold the frame (``delay`` only).
+        keep_bytes: Bytes of the encoded frame to forward before
+            aborting (``truncate`` only); clamped to leave at least one
+            byte torn off.
+    """
+
+    kind: str = "pass"
+    delay: float = 0.0
+    keep_bytes: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(f"unknown chaos action kind {self.kind!r}")
+
+
+PASS = ChaosAction("pass")
+
+
+class ChaosSchedule:
+    """Base schedule: every frame passes untouched."""
+
+    def action(self, conn: int, direction: str, frame: int) -> ChaosAction:
+        return PASS
+
+
+class ScriptedSchedule(ChaosSchedule):
+    """Faults placed by hand at exact ``(conn, direction, frame)`` keys.
+
+    Example — tear the first response of the first connection::
+
+        ScriptedSchedule({(0, DOWN, 0): ChaosAction("truncate", keep_bytes=9)})
+    """
+
+    def __init__(self, actions: dict[tuple[int, str, int], ChaosAction]) -> None:
+        self._actions = dict(actions)
+
+    def action(self, conn: int, direction: str, frame: int) -> ChaosAction:
+        return self._actions.get((conn, direction, frame), PASS)
+
+
+class SeededSchedule(ChaosSchedule):
+    """Every decision derived statelessly from ``(seed, conn, direction,
+    frame)`` — replayable regardless of task interleaving.
+
+    Args:
+        seed: The replay seed; same seed, same schedule, always.
+        delay_rate / truncate_rate / reset_rate / kill_rate:
+            Independent per-frame fault probabilities (first match in
+            that order wins).  ``kill_worker`` only ever fires on the
+            ``up`` direction — killing a worker "because of" a response
+            frame would be causally meaningless.
+        max_delay: Upper bound for injected delays, seconds.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        delay_rate: float = 0.0,
+        truncate_rate: float = 0.0,
+        reset_rate: float = 0.0,
+        kill_rate: float = 0.0,
+        max_delay: float = 0.02,
+    ) -> None:
+        self.seed = seed
+        self.delay_rate = delay_rate
+        self.truncate_rate = truncate_rate
+        self.reset_rate = reset_rate
+        self.kill_rate = kill_rate
+        self.max_delay = max_delay
+
+    def action(self, conn: int, direction: str, frame: int) -> ChaosAction:
+        rng = random.Random(f"{self.seed}:{conn}:{direction}:{frame}")
+        draw = rng.random()
+        if draw < self.delay_rate:
+            return ChaosAction("delay", delay=rng.random() * self.max_delay)
+        draw -= self.delay_rate
+        if draw < self.truncate_rate:
+            # Tear somewhere inside the 12-byte prefix or just past it:
+            # always a mid-frame cut, whatever the frame's size.
+            return ChaosAction(
+                "truncate", keep_bytes=1 + rng.randrange(HEADER_STRUCT.size)
+            )
+        draw -= self.truncate_rate
+        if draw < self.reset_rate:
+            return ChaosAction("reset")
+        draw -= self.reset_rate
+        if direction == UP and draw < self.kill_rate:
+            return ChaosAction("kill_worker")
+        return PASS
+
+
+class ChaosProxy:
+    """Frame-aware fault-injecting relay in front of a live server.
+
+    Connections are numbered in accept order; each direction counts its
+    frames from zero.  The proxy listens on a Unix socket and forwards
+    to ``upstream`` (any address :func:`~repro.service.client.parse_address`
+    accepts).
+
+    Attributes:
+        events: Every schedule decision actually applied, in causal
+            order, as ``(conn, direction, frame, kind)`` tuples.
+    """
+
+    def __init__(
+        self, listen_path: str, upstream: str, schedule: ChaosSchedule
+    ) -> None:
+        from repro.service.client import parse_address
+
+        self.listen_path = listen_path
+        self.address = f"unix:{listen_path}"
+        self.upstream = parse_address(upstream)
+        self.schedule = schedule
+        self.events: list[tuple[int, str, int, str]] = []
+        self._conn_ids = itertools.count()
+        self._server: asyncio.base_events.Server | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_unix_server(
+            self._handle, path=self.listen_path
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    def transcript(self) -> tuple:
+        """Canonical, interleaving-independent form of the event log."""
+        return tuple(sorted(self.events))
+
+    # -- relaying ------------------------------------------------------
+
+    async def _connect_upstream(
+        self,
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self.upstream[0] == "unix":
+            return await asyncio.open_unix_connection(self.upstream[1])
+        return await asyncio.open_connection(self.upstream[1], self.upstream[2])
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = next(self._conn_ids)
+        try:
+            up_reader, up_writer = await self._connect_upstream()
+        except OSError:
+            writer.close()
+            return
+        aborted = asyncio.Event()
+        relays = [
+            asyncio.create_task(
+                self._relay(conn, UP, reader, up_writer, aborted)
+            ),
+            asyncio.create_task(
+                self._relay(conn, DOWN, up_reader, writer, aborted)
+            ),
+        ]
+        self._tasks.update(relays)
+        for task in relays:
+            task.add_done_callback(self._tasks.discard)
+        await asyncio.gather(*relays, return_exceptions=True)
+        for stream in (writer, up_writer):
+            stream.close()
+
+    async def _read_frame_bytes(self, reader: asyncio.StreamReader) -> bytes | None:
+        """One raw encoded frame, ``None`` on EOF at a frame boundary.
+
+        A peer vanishing mid-frame yields whatever arrived — the partial
+        bytes are forwarded verbatim so the other side observes the same
+        torn stream it would have seen without the proxy.
+        """
+        try:
+            prefix = await reader.readexactly(HEADER_STRUCT.size)
+        except asyncio.IncompleteReadError as error:
+            return bytes(error.partial) or None
+        try:
+            header_len, payload_len = protocol.parse_prefix(prefix)
+        except Exception:
+            # Garbage prefix: pass it through untouched; the endpoint's
+            # own validation is the component under test, not ours.
+            return prefix
+        try:
+            body = await reader.readexactly(header_len + payload_len)
+        except asyncio.IncompleteReadError as error:
+            return prefix + bytes(error.partial)
+        return prefix + body
+
+    async def _kill_one_worker(self) -> None:
+        """Crash a worker via the debug op; returns once acknowledged.
+
+        The server answers the ``crash`` request only after it has seen
+        the broken pool and begun recovery, so by the time the victim
+        frame is forwarded the kill has deterministically happened.
+        """
+        kill_reader, kill_writer = await self._connect_upstream()
+        try:
+            kill_writer.write(
+                encode_frame({"id": 0, "op": "crash", "params": {}, "client": "chaos"})
+            )
+            await kill_writer.drain()
+            await protocol.read_frame(kill_reader)
+        except Exception:
+            # The kill is best-effort chaos; a server refusing it (not
+            # in debug mode) must not wedge the relay.
+            pass
+        finally:
+            kill_writer.close()
+
+    async def _relay(
+        self,
+        conn: int,
+        direction: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        aborted: asyncio.Event,
+    ) -> None:
+        frame_index = 0
+        try:
+            while not aborted.is_set():
+                frame = await self._read_frame_bytes(reader)
+                if frame is None:
+                    break
+                action = self.schedule.action(conn, direction, frame_index)
+                self.events.append((conn, direction, frame_index, action.kind))
+                frame_index += 1
+                if action.kind == "reset":
+                    aborted.set()
+                    break
+                if action.kind == "truncate":
+                    keep = max(1, min(action.keep_bytes, len(frame) - 1))
+                    writer.write(frame[:keep])
+                    await writer.drain()
+                    aborted.set()
+                    break
+                if action.kind == "delay":
+                    await asyncio.sleep(action.delay)
+                elif action.kind == "kill_worker":
+                    await self._kill_one_worker()
+                writer.write(frame)
+                await writer.drain()
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            # Half-close so a clean client EOF propagates upstream (and
+            # vice versa) instead of wedging the opposite relay.
+            try:
+                if aborted.is_set():
+                    writer.transport.abort()
+                elif writer.can_write_eof():
+                    writer.write_eof()
+            except (OSError, RuntimeError):
+                pass

@@ -8,18 +8,52 @@ writes.  Error responses come back as raised
 :class:`~repro.errors.ServiceError` (with the server's machine-readable
 ``code`` and any attached failure report); framing violations raise
 :class:`~repro.errors.ProtocolError` and poison the connection.
+
+On top of the raw round trip, :meth:`ServiceClient.request` is a
+*resilient* exchange:
+
+* **retry with capped exponential backoff** — transport failures
+  (timeouts, refused/reset/broken connections, framing violations on a
+  poisoned stream) and transient server refusals (``worker_crash``,
+  ``overloaded``, ``unavailable``) are retried up to ``retries`` times
+  on a *fresh* connection, with deterministic seedable jitter so tests
+  replay byte-for-byte;
+* **safe re-send** — every request carries a content-derived
+  idempotency key (the same ``(op, params, payload)`` digest the server
+  coalesces and caches on), so a re-sent request lands on the in-flight
+  execution or the durable response cache instead of duplicating work;
+* **deadline propagation** — a ``deadline_ms`` budget is decremented
+  across attempts and sent with each one; when it runs out the client
+  fails locally with ``deadline_exceeded`` instead of sending a request
+  nobody will wait for;
+* **typed errors** — raw ``socket.timeout`` / ``ConnectionRefusedError``
+  / ``BrokenPipeError`` and friends surface as
+  :class:`~repro.errors.ServiceError` carrying the op, the address, and
+  the attempt count, never as a bare OS traceback;
+* **payload integrity** — responses carrying the server's CRC-32
+  digest are verified before being returned; a digest mismatch is a
+  transport failure and is retried like one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
+import random
 import socket
+import time
 
 from repro.errors import ConfigurationError, ProtocolError, ServiceError
+from repro.service import protocol
 from repro.service.protocol import FrameDecoder, encode_frame
 
 #: Bytes per ``recv`` call.
 RECV_CHUNK = 1 << 16
+
+#: Server error codes worth retrying: the failure is transient and the
+#: request is content-keyed (idempotent), so a re-send is safe.
+RETRYABLE_CODES = frozenset({"worker_crash", "overloaded", "unavailable"})
 
 
 def parse_address(address: str) -> tuple:
@@ -43,33 +77,138 @@ def parse_address(address: str) -> tuple:
     return ("tcp", host or "127.0.0.1", int(port))
 
 
+def format_address(address: tuple) -> str:
+    """Render a parsed address back to its string form (for errors)."""
+    if address[0] == "unix":
+        return f"unix:{address[1]}"
+    return f"{address[1]}:{address[2]}"
+
+
+def idempotency_key(op: str, params: dict, payload: bytes) -> str:
+    """Content-derived identity of one request.
+
+    The same digestible material as the server's coalescing / durable
+    cache key — ``(op, canonical-JSON params, SHA-256(payload))`` — so
+    a re-sent request is recognisably *the same work*, not new work.
+    """
+    material = "\x1f".join(
+        [
+            op,
+            json.dumps(params, sort_keys=True, separators=(",", ":")),
+            hashlib.sha256(payload).hexdigest(),
+        ]
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:32]
+
+
+def _transport_code(error: Exception) -> str:
+    """Map a transport-layer exception onto a machine-readable code."""
+    if isinstance(error, (socket.timeout, TimeoutError)):
+        return "timeout"
+    if isinstance(error, (ConnectionRefusedError, FileNotFoundError)):
+        return "unavailable"
+    if isinstance(error, ProtocolError):
+        return "protocol"
+    return "connection_lost"
+
+
 class ServiceClient:
     """One connection to a :class:`~repro.service.server.CompressionServer`.
 
     Usable as a context manager::
 
-        with ServiceClient("unix:/tmp/ccrp.sock") as client:
+        with ServiceClient("unix:/tmp/ccrp.sock", retries=3) as client:
             meta, blob = client.compress(text)
             meta2, back = client.decompress(meta, blob)
             assert back == text
 
     A client is *not* thread-safe: it issues one request at a time and
     matches responses by id on a single socket.
+
+    Args:
+        address: ``"unix:/path/to.sock"`` or ``"host:port"``.
+        timeout: Socket timeout per blocking operation, seconds.
+        name: Client name reported in server metrics.
+        retries: Extra attempts after the first for retryable failures
+            (0 keeps the old single-shot behaviour).
+        backoff_base: First retry delay, seconds; doubles per attempt.
+        backoff_max: Cap on any single backoff delay, seconds.
+        backoff_seed: Seeds the jitter RNG — two clients built with the
+            same seed sleep the same schedule, so resilience tests
+            replay deterministically.  ``None`` uses entropy.
+        deadline_ms: Default per-request deadline budget propagated to
+            the server and decremented across retries.  ``None`` means
+            no deadline.
     """
 
     def __init__(
-        self, address: str, timeout: float | None = 60.0, name: str = "anon"
+        self,
+        address: str,
+        timeout: float | None = 60.0,
+        name: str = "anon",
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_seed: int | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         self.address = parse_address(address)
         self.name = name
-        if self.address[0] == "unix":
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.connect(self.address[1])
-        else:
-            self._sock = socket.create_connection(self.address[1:])
-        self._sock.settimeout(timeout)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.deadline_ms = deadline_ms
+        self._rng = random.Random(backoff_seed)
+        self._sock: socket.socket | None = None
         self._decoder = FrameDecoder()
         self._ids = itertools.count(1)
+        try:
+            self._connect()
+        except OSError as error:
+            # Constructing a client against a dead endpoint is a typed
+            # condition, not a raw OS traceback.
+            raise ServiceError(
+                f"cannot connect to {format_address(self.address)}: {error}",
+                code=_transport_code(error),
+                op="connect",
+                address=format_address(self.address),
+                attempts=1,
+            ) from error
+
+    # -- connection management ----------------------------------------
+
+    def _connect(self) -> None:
+        """(Re)open the socket with a fresh frame decoder."""
+        self.close()
+        if self.address[0] == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.address[1])
+            except BaseException:
+                sock.close()
+                raise
+        else:
+            sock = socket.create_connection(self.address[1:], timeout=self.timeout)
+            sock.settimeout(self.timeout)
+        self._sock = sock
+        self._decoder = FrameDecoder()
+
+    def _backoff(self, attempt: int, budget: float | None) -> None:
+        """Sleep before retry ``attempt`` (0-based), capped and jittered.
+
+        The jitter is drawn from the client's seeded RNG, so a seeded
+        client's whole retry schedule is a deterministic function of
+        its constructor arguments.  Never sleeps past the remaining
+        deadline budget.
+        """
+        delay = min(self.backoff_max, self.backoff_base * (2.0**attempt))
+        delay *= 0.5 + 0.5 * self._rng.random()
+        if budget is not None:
+            delay = min(delay, max(0.0, budget))
+        if delay > 0:
+            time.sleep(delay)
 
     # -- context management -------------------------------------------
 
@@ -80,30 +219,54 @@ class ServiceClient:
         self.close()
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
-    # -- the round trip -----------------------------------------------
+    # -- the raw round trip -------------------------------------------
 
-    def send(self, op: str, params: dict | None = None, payload: bytes = b"") -> int:
+    def send(
+        self,
+        op: str,
+        params: dict | None = None,
+        payload: bytes = b"",
+        deadline_ms: float | None = None,
+    ) -> int:
         """Fire one request without waiting; returns its id.
 
         Pipelining: several ``send`` calls may be outstanding, with
-        :meth:`recv` collecting responses in completion order.
+        :meth:`recv` collecting responses in completion order.  An
+        oversized payload is refused *here*, with a typed ``too_large``
+        error naming the limit, before any byte reaches the wire — the
+        connection stays usable.
         """
+        params = params or {}
+        if len(payload) > protocol.MAX_PAYLOAD_BYTES:
+            raise ServiceError(
+                f"payload of {len(payload)} bytes exceeds the "
+                f"{protocol.MAX_PAYLOAD_BYTES}-byte frame limit; not sent",
+                code="too_large",
+                op=op,
+                address=format_address(self.address),
+                attempts=0,
+            )
+        if self._sock is None:
+            self._connect()
         request_id = next(self._ids)
-        frame = encode_frame(
-            {
-                "id": request_id,
-                "op": op,
-                "params": params or {},
-                "client": self.name,
-            },
-            payload,
-        )
-        self._sock.sendall(frame)
+        header = {
+            "id": request_id,
+            "op": op,
+            "params": params,
+            "client": self.name,
+            "idempotency": idempotency_key(op, params, payload),
+        }
+        if deadline_ms is not None:
+            header["deadline_ms"] = deadline_ms
+        self._sock.sendall(encode_frame(header, payload))
         return request_id
 
     def recv(self) -> tuple[int, dict, bytes]:
@@ -132,17 +295,111 @@ class ServiceClient:
             failure=error.get("failure"),
         )
 
-    def request(
-        self, op: str, params: dict | None = None, payload: bytes = b""
-    ) -> tuple[dict, bytes]:
-        """One synchronous round trip; raises on an error response."""
-        request_id = self.send(op, params, payload)
-        response_id, header, out_payload = self.recv()
-        if response_id != request_id:
+    @staticmethod
+    def verify_payload(header: dict, payload: bytes) -> None:
+        """Check a response payload against its CRC-32 digest, if any.
+
+        A mismatch means the bytes were damaged in flight (or by a
+        corrupt cache the server failed to catch): the connection can
+        no longer be trusted, so this raises
+        :class:`~repro.errors.ProtocolError` — which the retry layer
+        treats like any other transport failure.
+        """
+        digest = header.get("crc32")
+        if digest is None or not header.get("ok"):
+            return
+        actual = protocol.payload_digest(payload)
+        if actual != digest:
             raise ProtocolError(
-                f"response id {response_id!r} for request {request_id!r}"
+                f"response payload fails its CRC-32 digest "
+                f"(expected {digest:#010x}, got {actual:#010x})"
             )
-        return self.unwrap(header, out_payload)
+
+    # -- the resilient exchange ---------------------------------------
+
+    def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        payload: bytes = b"",
+        deadline_ms: float | None = None,
+    ) -> tuple[dict, bytes]:
+        """One resilient round trip; raises typed errors, never raw OS ones.
+
+        Retries transport failures and transient server refusals up to
+        ``self.retries`` times on a fresh connection, with capped
+        exponential backoff and seeded jitter.  The re-send is safe
+        because requests are content-keyed: the server coalesces or
+        answers from its durable response cache instead of repeating
+        work.  ``deadline_ms`` (or the client default) is a total
+        budget across all attempts.
+        """
+        if deadline_ms is None:
+            deadline_ms = self.deadline_ms
+        deadline = (
+            None if deadline_ms is None else time.monotonic() + deadline_ms / 1000.0
+        )
+        attempts = self.retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        f"deadline budget of {deadline_ms} ms exhausted after "
+                        f"{attempt} attempt(s)"
+                        + (f": {last_error}" if last_error else ""),
+                        code="deadline_exceeded",
+                        op=op,
+                        address=format_address(self.address),
+                        attempts=attempt,
+                    )
+            try:
+                if self._sock is None:
+                    self._connect()
+                request_id = self.send(
+                    op,
+                    params,
+                    payload,
+                    deadline_ms=None if remaining is None else remaining * 1000.0,
+                )
+                response_id, header, out_payload = self.recv()
+                if response_id != request_id:
+                    raise ProtocolError(
+                        f"response id {response_id!r} for request {request_id!r}"
+                    )
+                self.verify_payload(header, out_payload)
+                return self.unwrap(header, out_payload)
+            except ServiceError as error:
+                last_error = error
+                if error.code not in RETRYABLE_CODES or attempt + 1 >= attempts:
+                    if error.op is None:
+                        error.op = op
+                        error.address = format_address(self.address)
+                        error.attempts = attempt + 1
+                    raise
+                # The connection itself is fine after an error response;
+                # only the attempt failed.
+            except (ProtocolError, OSError) as error:
+                last_error = error
+                # The stream is unusable (poisoned decoder, torn frame,
+                # dead socket): drop it so the next attempt reconnects.
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise ServiceError(
+                        f"{op} via {format_address(self.address)} failed after "
+                        f"{attempt + 1} attempt(s): {error}",
+                        code=_transport_code(error),
+                        op=op,
+                        address=format_address(self.address),
+                        attempts=attempt + 1,
+                    ) from error
+            budget = None
+            if deadline is not None:
+                budget = deadline - time.monotonic()
+            self._backoff(attempt, budget)
+        raise AssertionError("unreachable: retry loop must return or raise")
 
     # -- convenience wrappers -----------------------------------------
 

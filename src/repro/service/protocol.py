@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+import zlib
 
 from repro.errors import ProtocolError
 
@@ -53,6 +54,34 @@ MAX_HEADER_BYTES = 8 * 1024 * 1024
 
 #: Bound on the binary payload (program text / compressed blobs).
 MAX_PAYLOAD_BYTES = 256 * 1024 * 1024
+
+
+class FrameTooLarge(ProtocolError):
+    """A frame declared a length past :data:`MAX_HEADER_BYTES` /
+    :data:`MAX_PAYLOAD_BYTES`.
+
+    Unlike other framing violations, the prefix itself was well-formed
+    (valid magic, version, flags), so the byte stream is still
+    synchronised: a receiver that wants to keep the connection may
+    discard exactly :attr:`skip_bytes` bytes — the declared body — and
+    answer with a structured ``too_large`` error instead of hanging up.
+
+    Attributes:
+        field: ``"header"`` or ``"payload"`` — which length overflowed.
+        declared: The declared length in bytes.
+        limit: The bound that was exceeded.
+        skip_bytes: Total declared body size (header + payload), i.e.
+            how many bytes to discard to reach the next frame boundary.
+    """
+
+    def __init__(self, field: str, declared: int, limit: int, skip_bytes: int) -> None:
+        super().__init__(
+            f"declared {field} length {declared} exceeds the {limit}-byte limit"
+        )
+        self.field = field
+        self.declared = declared
+        self.limit = limit
+        self.skip_bytes = skip_bytes
 
 
 def encode_frame(header: dict, payload: bytes = b"") -> bytes:
@@ -86,14 +115,12 @@ def parse_prefix(prefix: bytes) -> tuple[int, int]:
     if flags != 0:
         raise ProtocolError(f"reserved frame flags must be 0, got {flags:#04x}")
     if header_len > MAX_HEADER_BYTES:
-        raise ProtocolError(
-            f"declared header length {header_len} exceeds the "
-            f"{MAX_HEADER_BYTES}-byte limit"
+        raise FrameTooLarge(
+            "header", header_len, MAX_HEADER_BYTES, header_len + payload_len
         )
     if payload_len > MAX_PAYLOAD_BYTES:
-        raise ProtocolError(
-            f"declared payload length {payload_len} exceeds the "
-            f"{MAX_PAYLOAD_BYTES}-byte limit"
+        raise FrameTooLarge(
+            "payload", payload_len, MAX_PAYLOAD_BYTES, header_len + payload_len
         )
     return header_len, payload_len
 
@@ -205,3 +232,32 @@ async def write_frame(
     writer.write(data)
     await writer.drain()
     return len(data)
+
+
+async def drain_exactly(reader: asyncio.StreamReader, count: int) -> bool:
+    """Read and discard ``count`` bytes in bounded chunks.
+
+    Used to skip the body of an over-limit frame without ever buffering
+    it: the stream stays synchronised, the connection stays usable.
+    Returns ``False`` if the peer hung up before ``count`` bytes arrived
+    (the caller should then treat the connection as closed).
+    """
+    remaining = count
+    while remaining > 0:
+        data = await reader.read(min(remaining, 1 << 16))
+        if not data:
+            return False
+        remaining -= len(data)
+    return True
+
+
+def payload_digest(payload: bytes) -> int:
+    """CRC-32 integrity digest carried on response payloads.
+
+    The durable response cache stores it with every entry and the
+    server re-verifies on load; responses carry it in the ``crc32``
+    header field so the client can verify the payload survived the
+    transport hop byte-for-byte (the software analogue of the per-line
+    CRC the integrity layer charges to the LAT).
+    """
+    return zlib.crc32(payload) & 0xFFFFFFFF

@@ -13,6 +13,16 @@ One :class:`CompressionServer` owns four cooperating pieces:
   jobs coalesce onto one execution and share its result, extending the
   artifact layer's on-disk ``flock`` single-flight to cross-request,
   in-process single-flight (``service.coalesced`` counts the saves);
+* a durable response cache — completed job responses persist through
+  :class:`~repro.core.artifacts.ResponseCache` under the *same* content
+  key, each entry carrying a CRC-32 payload digest verified on load, so
+  a repeat request (including after a restart on the same
+  ``CCRP_CACHE_DIR``) is answered byte-identically with zero worker
+  work (``service.cache.hit`` / ``service.cache.miss``);
+* deadline propagation — requests may carry a ``deadline_ms`` budget;
+  expired-on-arrival requests are refused, queued jobs whose deadline
+  passes are shed at dispatch, and workers shed once more before
+  executing (all counted in ``service.deadline_exceeded``);
 * a batcher — admitted jobs land on one queue which a background task
   drains into chunks of up to ``batch_max``, each chunk one round trip
   to the :class:`~repro.service.workers.WorkerPool`; a semaphore holds
@@ -38,18 +48,31 @@ import json
 import time
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.core.artifacts import ResponseCache
 from repro.core.metrics import MetricsRegistry
 from repro.core.sweep import FailureReport
 from repro.errors import ProtocolError, ReproError, ServiceError
-from repro.service.protocol import read_frame, write_frame
+from repro.service.protocol import (
+    FrameTooLarge,
+    drain_exactly,
+    payload_digest,
+    read_frame,
+    write_frame,
+)
 from repro.service.workers import JOB_OPS, WorkerPool
 
 #: Error codes job exceptions map onto (anything else is ``job_failed``).
 ERROR_CODES = {
     "ConfigurationError": "bad_request",
+    "DeadlineExceeded": "deadline_exceeded",
     "IntegrityError": "integrity",
     "ProtocolError": "bad_request",
 }
+
+#: Ops whose completed responses persist in the durable response cache.
+#: Deterministic pure functions of the request only — never ``crash``
+#: (debug) and never jobs carrying a ``_gate`` rendezvous.
+CACHED_OPS = ("compress", "decompress", "simulate")
 
 
 def _error_code(error_type: str) -> str:
@@ -59,14 +82,25 @@ def _error_code(error_type: str) -> str:
 class _Job:
     """One admitted unit of work, possibly shared by coalesced requests."""
 
-    __slots__ = ("key", "op", "params", "payload", "future", "detail")
+    __slots__ = ("key", "op", "params", "payload", "future", "detail", "deadline")
 
-    def __init__(self, key, op: str, params: dict, payload: bytes, detail: str):
+    def __init__(
+        self,
+        key,
+        op: str,
+        params: dict,
+        payload: bytes,
+        detail: str,
+        deadline: float | None = None,
+    ):
         self.key = key
         self.op = op
         self.params = params
         self.payload = payload
         self.detail = detail
+        # Latest monotonic deadline any waiter still cares about; None
+        # means at least one waiter has no deadline (never shed).
+        self.deadline = deadline
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
 
 
@@ -81,6 +115,12 @@ class CompressionServer:
         batch_max: Max jobs per worker round trip.
         debug: Allow the test-only ``crash`` op and ``_gate`` rendezvous
             params.  Production servers refuse both.
+        response_cache: Persist completed responses through the artifact
+            layer (keyed identically to the coalescing key, CRC-32
+            verified) so repeat requests — including after a server
+            restart on the same ``CCRP_CACHE_DIR`` — are answered
+            byte-identically without recomputation.  ``False`` restores
+            the in-flight-only deduplication of PR 7.
     """
 
     def __init__(
@@ -90,6 +130,7 @@ class CompressionServer:
         queue_limit: int = 64,
         batch_max: int = 8,
         debug: bool = False,
+        response_cache: bool = True,
     ) -> None:
         from repro.service.client import parse_address
 
@@ -98,6 +139,7 @@ class CompressionServer:
         self.queue_limit = max(1, queue_limit)
         self.batch_max = max(1, batch_max)
         self.debug = debug
+        self.response_cache = ResponseCache() if response_cache else None
         self.metrics = MetricsRegistry()
         self._server: asyncio.base_events.Server | None = None
         self._queue: asyncio.Queue[_Job] = asyncio.Queue()
@@ -193,6 +235,29 @@ class CompressionServer:
             while True:
                 try:
                     frame = await read_frame(reader)
+                except FrameTooLarge as error:
+                    # The prefix was well-formed, so the stream is still
+                    # synchronised: answer with a structured refusal
+                    # naming the limit, discard exactly the declared
+                    # body, and keep serving the connection.
+                    self.metrics.count("service.too_large")
+                    await self._send(
+                        writer,
+                        io_lock,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": {
+                                "code": "too_large",
+                                "message": str(error),
+                                "limit": error.limit,
+                                "declared": error.declared,
+                            },
+                        },
+                    )
+                    if await drain_exactly(reader, error.skip_bytes):
+                        continue
+                    break
                 except ProtocolError as error:
                     # The stream is unsynchronised; report best-effort
                     # and hang up.  Never retry, never hang.
@@ -272,9 +337,14 @@ class CompressionServer:
             self.metrics.count(f"requests.{op}")
             self.metrics.count(f"clients.{client}.requests")
             try:
-                result, out_payload = await self._dispatch(op, params, payload)
+                deadline = self._parse_deadline(header)
+                result, out_payload = await self._dispatch(
+                    op, params, payload, deadline
+                )
                 response["ok"] = True
                 response["result"] = result
+                if op in JOB_OPS:
+                    response["crc32"] = payload_digest(out_payload)
             except ReproError as error:
                 code = getattr(error, "code", None) or _error_code(
                     type(error).__name__
@@ -295,8 +365,32 @@ class CompressionServer:
     # Dispatch
     # ------------------------------------------------------------------
 
+    def _parse_deadline(self, header: dict) -> float | None:
+        """Admission half of deadline propagation.
+
+        ``deadline_ms`` in a request header is the client's remaining
+        budget.  An already-expired budget is refused here — counted in
+        ``service.deadline_exceeded`` — before any dispatch, so the
+        server never computes a result nobody is waiting for.  A live
+        budget converts to an absolute monotonic deadline carried by
+        the job (and shed against in :meth:`_run_chunk` / the worker).
+        """
+        budget_ms = header.get("deadline_ms")
+        if budget_ms is None:
+            return None
+        if isinstance(budget_ms, bool) or not isinstance(budget_ms, (int, float)):
+            raise ProtocolError(f"deadline_ms must be a number, got {budget_ms!r}")
+        if budget_ms <= 0:
+            self.metrics.count("service.deadline_exceeded")
+            raise ServiceError(
+                f"deadline budget of {budget_ms} ms had already expired on "
+                f"arrival; request was not dispatched",
+                code="deadline_exceeded",
+            )
+        return time.monotonic() + budget_ms / 1000.0
+
     async def _dispatch(
-        self, op: str, params: dict, payload: bytes
+        self, op: str, params: dict, payload: bytes, deadline: float | None = None
     ) -> tuple[dict, bytes]:
         if op == "ping":
             return {"pong": True}, b""
@@ -306,22 +400,32 @@ class CompressionServer:
             raise ProtocolError(f"unknown op {op!r}")
         if not self.debug and (op == "crash" or "_gate" in params):
             raise ProtocolError(f"op {op!r} with debug params needs a debug server")
-        return await self._submit_job(op, params, payload)
+        return await self._submit_job(op, params, payload, deadline)
 
     def _stats(self) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["server"] = {
             "pending": self._pending,
+            "inflight": len(self._inflight),
             "queue_limit": self.queue_limit,
             "batch_max": self.batch_max,
             "workers": self.pool.workers,
             "pool_generation": self.pool.generation,
+            "response_cache": self.response_cache is not None,
             "closing": self._closing,
         }
         return snapshot
 
+    def _cacheable(self, op: str, params: dict) -> bool:
+        """Whether this job's response may persist in the durable cache."""
+        return (
+            self.response_cache is not None
+            and op in CACHED_OPS
+            and "_gate" not in params
+        )
+
     async def _submit_job(
-        self, op: str, params: dict, payload: bytes
+        self, op: str, params: dict, payload: bytes, deadline: float | None = None
     ) -> tuple[dict, bytes]:
         if self._closing:
             raise ServiceError(
@@ -336,7 +440,27 @@ class CompressionServer:
         if existing is not None:
             # Cross-request single-flight: ride the in-flight execution.
             self.metrics.count("service.coalesced")
+            if existing.deadline is not None:
+                # The shared job must live as long as its most patient
+                # waiter: a deadline-free rider pins it, a later
+                # deadline extends it.
+                existing.deadline = (
+                    None if deadline is None else max(existing.deadline, deadline)
+                )
             return await asyncio.shield(existing.future)
+        if self._cacheable(op, params):
+            # Durable single-flight: a completed response with the same
+            # content key — possibly from a previous server process on
+            # this cache dir — is replayed byte-identically.  The read
+            # is deliberately synchronous (like the key's payload hash
+            # above) so no identical request can slip past it into a
+            # duplicate execution.
+            cached = self.response_cache.get(key)
+            if cached is not None:
+                result, out_payload, _ = cached
+                self.metrics.count("service.cache.hit")
+                return result, out_payload
+            self.metrics.count("service.cache.miss")
         if self._pending >= self.queue_limit:
             self.metrics.count("service.overloaded")
             raise ServiceError(
@@ -344,7 +468,9 @@ class CompressionServer:
                 f"retry later",
                 code="overloaded",
             )
-        job = _Job(key, op, params, payload, detail=f"{op}:{key[1][:80]}")
+        job = _Job(
+            key, op, params, payload, detail=f"{op}:{key[1][:80]}", deadline=deadline
+        )
         self._inflight[key] = job
         self._pending += 1
         self._idle.clear()
@@ -383,17 +509,72 @@ class CompressionServer:
             self._chunk_tasks.add(task)
             task.add_done_callback(self._chunk_tasks.discard)
 
-    async def _run_chunk(self, chunk: list[_Job]) -> None:
-        self.metrics.count("service.batches")
-        self.metrics.count("service.batched_jobs", len(chunk))
+    def _shed_expired(self, chunk: list[_Job], now: float) -> list[_Job]:
+        """Deadline shedding at dispatch: drop queued jobs nobody waits for.
+
+        A job whose (latest) waiter deadline passed while it sat in the
+        queue is resolved with a ``deadline_exceeded`` error instead of
+        being sent to a worker — the queue sheds under pressure rather
+        than computing results the clients have already abandoned.
+        """
+        live: list[_Job] = []
+        for job in chunk:
+            if job.deadline is not None and job.deadline <= now:
+                self.metrics.count("service.deadline_exceeded")
+                self._resolve(
+                    job,
+                    error=ServiceError(
+                        f"deadline expired while {job.op!r} was queued; "
+                        f"job shed before dispatch",
+                        code="deadline_exceeded",
+                    ),
+                )
+            else:
+                live.append(job)
+        return live
+
+    def _store_response(self, job: _Job, result: dict, payload: bytes) -> None:
+        """Persist one completed response; failures never fail the job."""
+        if not self._cacheable(job.op, job.params):
+            return
         try:
+            self.response_cache.put(job.key, result, payload)
+            self.metrics.count("service.cache.store")
+        except Exception:
+            # A full disk or unwritable cache dir degrades to
+            # recomputation on the next repeat, never to a lost job.
+            self.metrics.count("service.cache.store_failures")
+
+    async def _run_chunk(self, chunk: list[_Job]) -> None:
+        try:
+            now = time.monotonic()
+            chunk = self._shed_expired(chunk, now)
+            if not chunk:
+                return
+            self.metrics.count("service.batches")
+            self.metrics.count("service.batched_jobs", len(chunk))
             # Hold new chunks while a crashed pool is being replaced, so
             # an innocent batch is never submitted into the rubble.
             await self._pool_ready.wait()
             generation = self.pool.generation
+            # Workers live on this host but in other processes, where
+            # the monotonic clock origin is shared yet opaque; hand them
+            # wall-clock deadlines derived from the same remaining
+            # budget instead.
+            wall = time.time()
             try:
                 pool_future = self.pool.submit(
-                    [(job.op, job.params, job.payload) for job in chunk]
+                    [
+                        (
+                            job.op,
+                            job.params,
+                            job.payload,
+                            None
+                            if job.deadline is None
+                            else wall + (job.deadline - now),
+                        )
+                        for job in chunk
+                    ]
                 )
                 outcomes, worker_metrics = await asyncio.wrap_future(pool_future)
             except BrokenProcessPool:
@@ -430,9 +611,12 @@ class CompressionServer:
             self.metrics.merge(worker_metrics)
             for job, outcome in zip(chunk, outcomes):
                 if outcome[0] == "ok":
+                    self._store_response(job, outcome[1], outcome[2])
                     self._resolve(job, result=(outcome[1], outcome[2]))
                 else:
                     _, error_type, message, worker_traceback = outcome
+                    if error_type == "DeadlineExceeded":
+                        self.metrics.count("service.deadline_exceeded")
                     failure = FailureReport(
                         workload=str(job.params.get("workload", "-")),
                         detail=job.detail,

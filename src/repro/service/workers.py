@@ -27,13 +27,14 @@ Debug-only hooks (the server refuses them unless started with
   writing, then blocks until the test opens (and closes) ``release``.
   Concurrency tests synchronise on request state this way instead of
   sleeping.
-* ``op == "crash"`` — the worker calls ``os._exit``; the injected死
+* ``op == "crash"`` — the worker calls ``os._exit``; the injected death
   exercises the server's broken-pool recovery.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import traceback
 from concurrent.futures import Future, ProcessPoolExecutor
 
@@ -207,7 +208,9 @@ def _run_one(op: str, params: dict, payload: bytes) -> tuple[dict, bytes]:
     raise ConfigurationError(f"unknown worker op {op!r}")
 
 
-def run_jobs(jobs: list[tuple[str, dict, bytes]]) -> tuple[list[tuple], dict]:
+def run_jobs(
+    jobs: list[tuple[str, dict, bytes, float | None]]
+) -> tuple[list[tuple], dict]:
     """Worker entry point: execute one batch, capture per-job outcomes.
 
     Mirrors :func:`repro.core.sweep._metrics_chunk`: outcomes are
@@ -215,10 +218,27 @@ def run_jobs(jobs: list[tuple[str, dict, bytes]]) -> tuple[list[tuple], dict]:
     per job — one bad request never discards the rest of the batch —
     and the second return value is this batch's metrics snapshot for the
     server to merge.
+
+    Each job carries an optional absolute wall-clock deadline
+    (``time.time()`` seconds; server and workers share a host).  A job
+    whose deadline passed while the batch waited in the executor queue
+    is shed here with a ``DeadlineExceeded`` outcome instead of burning
+    a worker on a result nobody is waiting for.
     """
     METRICS.reset()
     outcomes: list[tuple] = []
-    for op, params, payload in jobs:
+    for op, params, payload, deadline_unix in jobs:
+        if deadline_unix is not None and time.time() >= deadline_unix:
+            outcomes.append(
+                (
+                    "err",
+                    "DeadlineExceeded",
+                    f"deadline expired before {op!r} ran in a worker",
+                    "",
+                )
+            )
+            METRICS.count("service.worker_shed")
+            continue
         try:
             result, out_payload = _run_one(op, params, payload)
             outcomes.append(("ok", result, out_payload))
@@ -274,7 +294,7 @@ class WorkerPool:
         for future in [self._executor.submit(_warmup) for _ in range(self.workers)]:
             future.result()
 
-    def submit(self, jobs: list[tuple[str, dict, bytes]]) -> Future:
+    def submit(self, jobs: list[tuple[str, dict, bytes, float | None]]) -> Future:
         """Submit one batch; returns the executor's future for it."""
         if self._executor is None:
             raise ConfigurationError("worker pool is not running")

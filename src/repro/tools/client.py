@@ -17,8 +17,14 @@ Examples::
         --cache-bytes 1024 --memory eprom --clb-entries 16
     ccrp-client unix:/tmp/ccrp.sock stats
 
-Exits 0 on success, 1 when the server answered with an error response,
-2 on usage or connection problems.
+Resilience flags (``--retries``, ``--backoff-base``, ``--backoff-max``,
+``--backoff-seed``, ``--deadline-ms``) configure the client's retry /
+backoff / deadline layer; see ``docs/modeling_notes.md`` section 16.
+
+Exits 0 on success, 1 on any typed service failure (an error response,
+an unreachable or failing endpoint, an exhausted deadline) — printed as
+one diagnosable line with the error code, op, address, and attempt
+count — and 2 on usage problems.
 """
 
 from __future__ import annotations
@@ -57,6 +63,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--timeout", type=float, default=60.0, help="socket timeout in seconds"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry transient failures this many extra times (default 0)",
+    )
+    parser.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.05,
+        help="first retry delay in seconds; doubles per attempt (default 0.05)",
+    )
+    parser.add_argument(
+        "--backoff-max",
+        type=float,
+        default=2.0,
+        help="cap on any single retry delay in seconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--backoff-seed",
+        type=int,
+        default=None,
+        help="seed the retry jitter for a replayable backoff schedule",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="total request budget in milliseconds, propagated to the "
+        "server and spent across retries",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -141,11 +178,32 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         with ServiceClient(
-            args.address, timeout=args.timeout, name=args.name
+            args.address,
+            timeout=args.timeout,
+            name=args.name,
+            retries=args.retries,
+            backoff_base=args.backoff_base,
+            backoff_max=args.backoff_max,
+            backoff_seed=args.backoff_seed,
+            deadline_ms=args.deadline_ms,
         ) as client:
             return _run(client, args)
     except ServiceError as error:
-        print(f"ccrp-client: server error [{error.code}]: {error}", file=sys.stderr)
+        # Typed failures collapse to one diagnosable line: what failed,
+        # where, and after how many attempts.
+        context = "".join(
+            f" {label}={value}"
+            for label, value in (
+                ("op", error.op),
+                ("address", error.address),
+                ("attempts", error.attempts),
+            )
+            if value is not None
+        )
+        print(
+            f"ccrp-client: error [{error.code}]{context}: {error}",
+            file=sys.stderr,
+        )
         return 1
     except (ReproError, OSError) as error:
         print(f"ccrp-client: error: {error}", file=sys.stderr)

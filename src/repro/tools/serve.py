@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot as JSON on shutdown",
     )
     parser.add_argument(
+        "--no-response-cache",
+        action="store_true",
+        help="disable the durable response cache (repeats recompute "
+        "instead of replaying from CCRP_CACHE_DIR)",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help="enable test-only ops (crash, _gate rendezvous) — never in production",
@@ -78,6 +84,7 @@ async def _serve(args: argparse.Namespace) -> None:
         queue_limit=args.queue_limit,
         batch_max=args.batch_max,
         debug=args.debug,
+        response_cache=not args.no_response_cache,
     )
     await server.start()
     print(

@@ -19,6 +19,7 @@ import asyncio
 import os
 import threading
 
+from repro.service.chaos import ChaosProxy
 from repro.service.client import ServiceClient
 from repro.service.server import CompressionServer
 
@@ -140,12 +141,22 @@ class LiveService:
 
     # -- client-side helpers -------------------------------------------
 
-    def client(self, name: str = "test", timeout: float = 120.0) -> ServiceClient:
-        return ServiceClient(self.address, timeout=timeout, name=name)
+    def client(
+        self, name: str = "test", timeout: float = 120.0, **client_kwargs
+    ) -> ServiceClient:
+        return ServiceClient(
+            self.address, timeout=timeout, name=name, **client_kwargs
+        )
 
     def gate(self) -> Gate:
         self._gates += 1
         return Gate(self._gate_dir, f"gate{self._gates}")
+
+    def chaos(self, schedule, name: str = "chaos") -> "LiveChaos":
+        """A fault-injecting proxy in front of this server."""
+        return LiveChaos(
+            os.path.join(self._gate_dir, f"{name}.sock"), self.address, schedule
+        )
 
     def wait_stats(self, predicate, what: str = "condition") -> dict:
         """Poll ``stats`` round trips until ``predicate(stats)`` holds.
@@ -165,3 +176,64 @@ class LiveService:
             f"{MAX_STATS_ROUND_TRIPS} stats round trips; last: "
             f"{stats['counters']} / {stats['server']}"
         )
+
+
+class LiveChaos:
+    """A :class:`~repro.service.chaos.ChaosProxy` on its own loop thread.
+
+    Clients connect to :attr:`address`; the proxy relays to the live
+    server, applying the schedule's faults.  The event log
+    (``live_chaos.proxy.events`` / ``transcript()``) records exactly
+    which faults fired, for two-run determinism assertions.
+    """
+
+    def __init__(self, listen_path: str, upstream: str, schedule) -> None:
+        self.proxy = ChaosProxy(listen_path, upstream, schedule)
+        self.address = self.proxy.address
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._shutdown: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "LiveChaos":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._started.wait(60), "chaos proxy failed to start in time"
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._shutdown = asyncio.Event()
+            try:
+                await self.proxy.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._started.set()
+                raise
+            self._started.set()
+            await self._shutdown.wait()
+            await self.proxy.stop()
+
+        asyncio.run(main())
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "LiveChaos":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def client(self, name: str = "chaos-test", **client_kwargs) -> ServiceClient:
+        return ServiceClient(self.address, name=name, **client_kwargs)
+
+    def transcript(self) -> tuple:
+        return self.proxy.transcript()

@@ -99,8 +99,12 @@ class TestCoalescing:
 
     def test_sequential_identical_requests_do_not_coalesce(self, tmp_path, fresh_cache):
         # Coalescing is an *in-flight* property: back-to-back repeats
-        # execute separately (hitting warm caches instead).
-        with LiveService(str(tmp_path), workers=1, debug=True) as live:
+        # execute separately (hitting warm caches instead).  The durable
+        # response cache would answer the repeat without a batch, so it
+        # is disabled to observe the coalescing layer in isolation.
+        with LiveService(
+            str(tmp_path), workers=1, debug=True, response_cache=False
+        ) as live:
             with live.client() as client:
                 first = client.simulate(**SIM)
                 second = client.simulate(**SIM)
